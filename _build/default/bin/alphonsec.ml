@@ -1,0 +1,270 @@
+(* alphonsec — the Alphonse-L compiler driver (paper §8).
+
+   Subcommands:
+     check      parse and type check a module
+     print      parse, check, and unparse (the identity transform)
+     transform  emit the Algorithm 2 display: access/modify/call inserted
+     analyze    report the §6.1 site analysis and §6.3 static partitions
+     run        execute a module (conventional or Alphonse execution)
+     compare    run both executions, check Theorem 5.1, report speedup
+     samples    list or dump the built-in sample programs *)
+
+module P = Lang.Parser
+module Tc = Lang.Typecheck
+module Interp = Lang.Interp
+module Analysis = Transform.Analysis
+module Incr = Transform.Incr_interp
+module Engine = Alphonse.Engine
+open Cmdliner
+
+let read_source path =
+  match path with
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> (
+    match Lang.Samples.all |> List.assoc_opt path with
+    | Some src -> src (* convenience: sample name instead of a path *)
+    | None -> In_channel.with_open_text path In_channel.input_all)
+
+let compile src =
+  match P.parse src with
+  | Error e -> Error e
+  | Ok m -> (
+    match Tc.check m with
+    | Ok env -> Ok env
+    | Error es ->
+      Error (Fmt.str "%a" Fmt.(list ~sep:(any "\n") Tc.pp_error) es))
+
+let with_module path f =
+  match compile (read_source path) with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    1
+  | Ok env -> f env
+
+(* ---------------- common args ---------------- *)
+
+let path_arg =
+  let doc =
+    "Path to an Alphonse-L module, '-' for stdin, or the name of a \
+     built-in sample (see $(b,alphonsec samples))."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODULE" ~doc)
+
+let strategy_arg =
+  let doc = "Default evaluation strategy: 'demand' or 'eager'." in
+  let strategy =
+    Arg.enum [ ("demand", Engine.Demand); ("eager", Engine.Eager) ]
+  in
+  Arg.(value & opt strategy Engine.Demand & info [ "strategy" ] ~doc)
+
+let partitioning_arg =
+  let doc = "Enable dynamic dependency-graph partitioning (paper 6.3)." in
+  Arg.(value & flag & info [ "partitioning" ] ~doc)
+
+let fuel_arg =
+  let doc = "Abort after this many interpreter steps." in
+  Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Stream the engine's decisions (marks, re-executions, settle steps)      to stderr while running."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let setup_trace enabled =
+  if enabled then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.Src.set_level Engine.log_src (Some Logs.Debug)
+  end
+
+(* ---------------- subcommands ---------------- *)
+
+let check_cmd =
+  let run path =
+    with_module path (fun env ->
+        Fmt.pr "module %s: %d type(s), %d procedure(s), %d global(s) — OK@."
+          env.Tc.m.Lang.Ast.modname
+          (List.length env.Tc.m.Lang.Ast.types)
+          (List.length env.Tc.m.Lang.Ast.procs)
+          (List.length env.Tc.m.Lang.Ast.globals);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and type check a module")
+    Term.(const run $ path_arg)
+
+let print_cmd =
+  let run path =
+    with_module path (fun env ->
+        Fmt.pr "%a@." (Lang.Pretty.pp_module ~marks:false) env.Tc.m;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "print" ~doc:"Unparse a module (pretty-printer round trip)")
+    Term.(const run $ path_arg)
+
+let transform_cmd =
+  let run path =
+    with_module path (fun env ->
+        let _ = Analysis.analyze env in
+        Fmt.pr "%a@." (Lang.Pretty.pp_module ~marks:true) env.Tc.m;
+        0)
+  in
+  let doc =
+    "Emit the transformed program with explicit access/modify/call \
+     operations (the paper's Algorithm 2 display form)"
+  in
+  Cmd.v (Cmd.info "transform" ~doc) Term.(const run $ path_arg)
+
+let analyze_cmd =
+  let run path =
+    with_module path (fun env ->
+        let r = Analysis.analyze env in
+        Fmt.pr "== incremental procedures ==@.";
+        Hashtbl.iter
+          (fun p pragma ->
+            Fmt.pr "  %s %a@." p Lang.Pretty.pp_pragma pragma)
+          r.Analysis.incremental_procs;
+        Fmt.pr "== reachable from incremental code ==@.";
+        Hashtbl.iter (fun p () -> Fmt.pr "  %s@." p) r.Analysis.reachable_procs;
+        Fmt.pr "== tracked globals ==@.";
+        Hashtbl.iter (fun g () -> Fmt.pr "  %s@." g) r.Analysis.tracked_globals;
+        Fmt.pr "== tracked fields ==@.";
+        Hashtbl.iter (fun f () -> Fmt.pr "  %s@." f) r.Analysis.tracked_fields;
+        Fmt.pr "== instrumentation sites (6.1) ==@.%a@." Analysis.pp_stats
+          r.Analysis.stats;
+        Fmt.pr "== static partitions (6.3) ==@.";
+        List.iter
+          (fun (name, comp) -> Fmt.pr "  %-24s component %d@." name comp)
+          (Analysis.connectivity env r);
+        0)
+  in
+  let doc = "Report the static analysis: instrumented sites and partitions" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ path_arg)
+
+let run_cmd =
+  let run path conventional strategy partitioning fuel trace =
+    setup_trace trace;
+    with_module path (fun env ->
+        if conventional then begin
+          let out = Interp.run ~fuel env in
+          print_string out.Interp.output;
+          match out.Interp.error with
+          | None ->
+            Fmt.epr "[conventional: %d steps]@." out.Interp.steps;
+            0
+          | Some e ->
+            Fmt.epr "runtime error: %s@." e;
+            1
+        end
+        else begin
+          let out =
+            Incr.run ~fuel ~default_strategy:strategy ~partitioning env
+          in
+          print_string out.Incr.output;
+          match out.Incr.error with
+          | None ->
+            Fmt.epr "[alphonse: %d steps]@.%a@." out.Incr.steps
+              Alphonse.Inspect.pp_stats out.Incr.engine_stats;
+            0
+          | Some e ->
+            Fmt.epr "runtime error: %s@." e;
+            1
+        end)
+  in
+  let conventional =
+    Arg.(
+      value & flag
+      & info [ "conventional" ]
+          ~doc:"Use the conventional (exhaustive) execution model.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a module")
+    Term.(
+      const run $ path_arg $ conventional $ strategy_arg $ partitioning_arg
+      $ fuel_arg $ trace_arg)
+
+let compare_cmd =
+  let run path strategy partitioning fuel =
+    with_module path (fun env ->
+        let conv = Interp.run ~fuel env in
+        let inc = Incr.run ~fuel ~default_strategy:strategy ~partitioning env in
+        (match (conv.Interp.error, inc.Incr.error) with
+        | None, None -> ()
+        | ce, ie ->
+          Fmt.epr "conventional error: %a@.alphonse error: %a@."
+            Fmt.(option string)
+            ce
+            Fmt.(option string)
+            ie);
+        let same = conv.Interp.output = inc.Incr.output in
+        Fmt.pr "Theorem 5.1 (same output): %s@."
+          (if same then "HOLDS" else "VIOLATED");
+        Fmt.pr "conventional steps: %d@." conv.Interp.steps;
+        Fmt.pr "alphonse steps:     %d (%.2fx)@." inc.Incr.steps
+          (float_of_int conv.Interp.steps /. float_of_int (max 1 inc.Incr.steps));
+        Fmt.pr "%a@." Alphonse.Inspect.pp_stats inc.Incr.engine_stats;
+        Fmt.pr "%a@." Alphonse.Inspect.pp_graph_stats inc.Incr.graph_stats;
+        if same then 0 else 2)
+  in
+  let doc = "Run both executions and check Theorem 5.1" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ path_arg $ strategy_arg $ partitioning_arg $ fuel_arg)
+
+let graph_cmd =
+  let run path show_storage =
+    with_module path (fun env ->
+        let analysis = Analysis.analyze env in
+        let st = Incr.init_state env analysis in
+        (match Incr.exec_stmts st (Hashtbl.create 8) env.Tc.m.Lang.Ast.main with
+        | () -> ()
+        | exception Incr.Runtime_error (msg, p) ->
+          Fmt.epr "runtime error at %a: %s@." Lang.Ast.pp_pos p msg);
+        print_string (Alphonse.Inspect.to_dot ~show_storage (Incr.state_engine st));
+        0)
+  in
+  let show_storage =
+    Arg.(
+      value & opt bool true
+      & info [ "storage" ]
+          ~doc:"Include storage nodes (false: instances only).")
+  in
+  let doc =
+    "Run a module under Alphonse execution and dump its dependency graph      in Graphviz DOT format (the debugging view of paper section 10)"
+  in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ path_arg $ show_storage)
+
+let samples_cmd =
+  let run name =
+    match name with
+    | None ->
+      List.iter (fun (n, _) -> Fmt.pr "%s@." n) Lang.Samples.all;
+      0
+    | Some n -> (
+      match List.assoc_opt n Lang.Samples.all with
+      | Some src ->
+        print_string src;
+        0
+      | None ->
+        Fmt.epr "unknown sample %s@." n;
+        1)
+  in
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None & info [] ~docv:"NAME"
+        ~doc:"Sample to dump; omit to list all.")
+  in
+  Cmd.v
+    (Cmd.info "samples" ~doc:"List or dump the built-in sample programs")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "the Alphonse incremental-computation transformation system" in
+  let info = Cmd.info "alphonsec" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd; print_cmd; transform_cmd; analyze_cmd; run_cmd;
+            compare_cmd; graph_cmd; samples_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/attrgram_demo.ml: Alphonse Array Attrgram Float Fmt

@@ -1,0 +1,1 @@
+examples/attrgram_demo.mli:

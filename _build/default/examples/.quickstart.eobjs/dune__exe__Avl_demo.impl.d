@@ -1,0 +1,1 @@
+examples/avl_demo.ml: Alphonse Fmt Trees

@@ -1,0 +1,1 @@
+examples/build_demo.ml: Alphonse Depgraph Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+examples/lang_demo.ml: Alphonse Fmt Lang Transform

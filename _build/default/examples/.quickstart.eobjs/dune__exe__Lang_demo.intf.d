@@ -1,0 +1,1 @@
+examples/lang_demo.mli:

@@ -1,0 +1,1 @@
+examples/leaderboard_demo.ml: Alphonse Array Fmt Random Trees

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alphonse Depgraph Fmt Trees

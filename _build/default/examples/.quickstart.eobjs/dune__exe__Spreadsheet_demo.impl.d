@@ -1,0 +1,1 @@
+examples/spreadsheet_demo.ml: Alphonse Float Fmt List Spreadsheet String

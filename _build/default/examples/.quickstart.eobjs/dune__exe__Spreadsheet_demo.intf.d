@@ -1,0 +1,1 @@
+examples/spreadsheet_demo.mli:

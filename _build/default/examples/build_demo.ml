@@ -1,0 +1,107 @@
+(* A minimal incremental build system on the Alphonse abstraction — the
+   modern descendant of the paper's idea (self-adjusting computation,
+   Adapton, build systems). Source files are tracked cells; compilation
+   of a unit is a cached procedure whose dependencies (the unit's
+   imports, read during compilation!) are discovered dynamically, exactly
+   the paper's non-combinator function caching (§4.2). Touching a file
+   rebuilds only what transitively imported it.
+
+     dune exec examples/build_demo.exe *)
+
+module Engine = Alphonse.Engine
+module Var = Alphonse.Var
+module Func = Alphonse.Func
+
+(* eager evaluation gives the quiescence cutoff build systems call "early
+   cutoff": a rebuilt object that is byte-identical stops the rebuild *)
+let eng = Engine.create ~default_strategy:Engine.Eager ()
+
+(* ---- the "file system": name -> tracked contents ---- *)
+
+let files : (string, string Var.t) Hashtbl.t = Hashtbl.create 16
+
+let write name contents =
+  match Hashtbl.find_opt files name with
+  | Some v -> Var.set v contents
+  | None -> Hashtbl.add files name (Var.create eng ~name contents)
+
+let read name =
+  match Hashtbl.find_opt files name with
+  | Some v -> Var.get v
+  | None -> failwith ("no such file: " ^ name)
+
+(* ---- the "compiler": parse `import x` lines, concatenate ---- *)
+
+let lines_of source =
+  String.split_on_char '\n' source
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+let imports_of source =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "import"; m ] -> Some m
+      | _ -> None)
+    (lines_of source)
+
+let compilations = ref 0
+
+(* compile is CACHED: keyed by unit name; everything else it touches —
+   the unit's source and the compiled form of each import — is reached
+   through tracked reads and nested calls, so the build graph is
+   discovered, not declared. *)
+let compile =
+  Func.create eng ~name:"compile" (fun compile unit_name ->
+      incr compilations;
+      let source = read (unit_name ^ ".src") in
+      let objs =
+        List.map (fun m -> Func.call compile m) (imports_of source)
+      in
+      (* the "object code": a digest of the comment-stripped source and
+         the imported objects *)
+      Fmt.str "[%s:%08x]" unit_name
+        (Hashtbl.hash (lines_of source, objs) land 0xffffffff))
+
+let build target =
+  compilations := 0;
+  let out = Func.call compile target in
+  Fmt.pr "  build %-6s -> %-16s (%d compilations)@." target out !compilations
+
+let () =
+  Fmt.pr "A five-unit project: main -> {ui, core}, ui -> core, core -> \
+          util, log.@.@.";
+  write "util.src" "let helpers = 42\n";
+  write "log.src" "let log x = x\n";
+  write "core.src" "import util\nlet core = helpers\n";
+  write "ui.src" "import core\nlet ui = core + 1\n";
+  write "main.src" "import ui\nimport core\nimport log\nlet main = ()\n";
+
+  Fmt.pr "Cold build:@.";
+  build "main";
+
+  Fmt.pr "@.Nothing changed:@.";
+  build "main";
+
+  Fmt.pr "@.Touch a leaf (util.src): only its importers recompile:@.";
+  write "util.src" "let helpers = 43 (* tweaked *)\n";
+  build "main";
+
+  Fmt.pr "@.Comment-only change: util recompiles, its object is@.";
+  Fmt.pr "byte-identical, and quiescence stops the rebuild there@.";
+  Fmt.pr "(build systems call this the early cutoff):@.";
+  write "util.src" "# a comment the compiler strips\nlet helpers = 43 (* tweaked *)\n";
+  build "main";
+
+  Fmt.pr "@.Change the import structure itself (ui drops core):@.";
+  write "ui.src" "import log\nlet ui = 1\n";
+  build "main";
+
+  Fmt.pr "@.Now util only matters through core; touch log instead:@.";
+  write "log.src" "let log x = (x, x)\n";
+  build "main";
+
+  let g = Engine.graph_stats eng in
+  Fmt.pr "@.The discovered build graph: %d nodes, %d edges — no build@."
+    g.Depgraph.Graph.live_nodes g.Depgraph.Graph.live_edges;
+  Fmt.pr "description was ever written down.@."

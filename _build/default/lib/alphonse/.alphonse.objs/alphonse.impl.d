@@ -1,0 +1,1 @@
+lib/alphonse/alphonse.ml: Engine Func Htbl Inspect Policy Var

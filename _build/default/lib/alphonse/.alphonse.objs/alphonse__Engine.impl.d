@@ -1,0 +1,1 @@
+lib/alphonse/engine.ml: Depgraph Fun List Logs

@@ -1,0 +1,1 @@
+lib/alphonse/engine.mli: Depgraph Logs

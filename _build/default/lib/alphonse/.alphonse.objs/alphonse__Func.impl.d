@@ -1,0 +1,1 @@
+lib/alphonse/func.ml: Engine Fmt Hashtbl Htbl Policy

@@ -1,0 +1,1 @@
+lib/alphonse/func.mli: Engine Policy

@@ -1,0 +1,1 @@
+lib/alphonse/htbl.ml: Array List

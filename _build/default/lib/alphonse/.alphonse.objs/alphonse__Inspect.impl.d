@@ -1,0 +1,1 @@
+lib/alphonse/inspect.ml: Buffer Depgraph Engine Fmt Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/alphonse/policy.ml: Fmt

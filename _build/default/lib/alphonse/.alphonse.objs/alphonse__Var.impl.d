@@ -1,0 +1,1 @@
+lib/alphonse/var.ml: Engine Fmt

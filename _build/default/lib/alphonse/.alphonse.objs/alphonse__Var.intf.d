@@ -1,0 +1,1 @@
+lib/alphonse/var.mli: Engine

@@ -1,0 +1,523 @@
+module G = Depgraph.Graph
+module Heap = Depgraph.Pairing_heap
+module Uf = Depgraph.Union_find
+
+(* Tracing: `Logs.Src.set_level Engine.log_src (Some Debug)` (or the
+   alphonsec --trace flag) streams the engine's decisions — marks,
+   (re-)executions, settle pops — the observability counterpart of the
+   paper's §10 debugging remark. Disabled, the cost is one branch. *)
+let log_src = Logs.Src.create "alphonse.engine" ~doc:"Alphonse engine tracing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type strategy = Demand | Eager
+
+(* How the evaluator picks the next inconsistent element (§4.5: "The
+   selection of u from the set is done using an algorithm such as
+   [Hud86, Hoo86, Hoo87, AHR+90]"). *)
+type scheduling =
+  | Creation_order
+      (* priorities fixed at node creation (dependencies discovered during
+         an execution are ordered before their consumer) *)
+  | Topological
+      (* creation priorities plus Pearce–Kelly restoration on every
+         order-violating edge: the drain order stays topological *)
+  | Fifo  (* no priorities: first marked, first processed *)
+
+exception Cycle of string
+
+(* Node payload: the engine-side bookkeeping of §4.1. [queued] is
+   membership in the inconsistent set; [consistent] is the paper's
+   consistent(u) flag used by demand instances. *)
+type payload = {
+  name : string;
+  mutable kind : kind;
+  mutable queued : bool;
+  mutable on_stack : bool;
+  mutable discarded : bool;
+  mutable seq : int; (* mark order, for Fifo scheduling *)
+  mutable part_elt : partition Uf.elt option; (* Some iff partitioning on *)
+}
+
+and kind =
+  | Storage
+  | Instance of instance
+
+and instance = {
+  strategy : strategy;
+  recompute : unit -> bool;
+  static_deps : bool;
+      (* §6.2: the referenced-argument set is the same on every execution,
+         so edges recorded by the first run are reused verbatim — no
+         RemovePredEdges, no re-recording *)
+  mutable consistent : bool;
+  mutable ever_ran : bool;
+}
+
+and nd = payload G.node
+
+(* A dependency-graph partition (§6.3) and its own inconsistent set. *)
+and partition = {
+  queue : nd Heap.t;
+  mutable on_dirty_list : bool;
+}
+
+type node = nd
+
+type frame = { fnode : nd; stamp : int }
+
+type stats = {
+  executions : int;
+  first_executions : int;
+  cache_hits : int;
+  settle_steps : int;
+  queue_pushes : int;
+  unions : int;
+  out_of_order_edges : int;
+  order_fixups : int;
+  evictions : int;
+}
+
+type t = {
+  graph : payload G.t;
+  heap_leq : nd -> nd -> bool;
+  global_part : partition; (* used when partitioning is off *)
+  use_partitions : bool;
+  strategy0 : strategy;
+  scheduling : scheduling;
+  mutable seq_counter : int;
+  mutable stack : frame list;
+  mutable exec_serial : int;
+  mutable settling : bool;
+  mutable mask : bool; (* record dependency edges? false under unchecked *)
+  mutable dirty_parts : partition list;
+  mutable all_nodes : nd list;
+  (* counters *)
+  mutable c_executions : int;
+  mutable c_first : int;
+  mutable c_hits : int;
+  mutable c_steps : int;
+  mutable c_pushes : int;
+  mutable c_unions : int;
+  mutable c_ooo : int;
+  mutable c_fixups : int;
+  mutable c_evictions : int;
+}
+
+let create ?(partitioning = false) ?(default_strategy = Demand)
+    ?(scheduling = Creation_order) () =
+  let leq =
+    match scheduling with
+    | Creation_order | Topological -> fun a b -> not (G.order_lt b a)
+    | Fifo -> fun a b -> (G.payload a).seq <= (G.payload b).seq
+  in
+  {
+    graph = G.create ();
+    heap_leq = leq;
+    global_part = { queue = Heap.create ~leq; on_dirty_list = false };
+    use_partitions = partitioning;
+    strategy0 = default_strategy;
+    scheduling;
+    seq_counter = 0;
+    stack = [];
+    exec_serial = 0;
+    settling = false;
+    mask = true;
+    dirty_parts = [];
+    all_nodes = [];
+    c_executions = 0;
+    c_first = 0;
+    c_hits = 0;
+    c_steps = 0;
+    c_pushes = 0;
+    c_unions = 0;
+    c_ooo = 0;
+    c_fixups = 0;
+    c_evictions = 0;
+  }
+
+let default_strategy t = t.strategy0
+let partitioning t = t.use_partitions
+let scheduling t = t.scheduling
+
+let partition_of t node =
+  if not t.use_partitions then t.global_part
+  else
+    match (G.payload node).part_elt with
+    | Some e -> Uf.payload e
+    | None -> assert false
+
+let mark_inconsistent t node =
+  let p = G.payload node in
+  if (not p.queued) && not p.discarded then begin
+    Log.debug (fun m -> m "mark inconsistent: %s#%d" p.name (G.id node));
+    p.queued <- true;
+    t.seq_counter <- t.seq_counter + 1;
+    p.seq <- t.seq_counter;
+    t.c_pushes <- t.c_pushes + 1;
+    let part = partition_of t node in
+    Heap.insert part.queue node;
+    if not part.on_dirty_list then begin
+      part.on_dirty_list <- true;
+      t.dirty_parts <- part :: t.dirty_parts
+    end
+  end
+
+(* Node creation: priorities approximate topological order — a node created
+   while a consumer executes is one of its dependencies, so it is ordered
+   just before the consumer; top-level creations append at the end. *)
+let new_node t payload =
+  let node =
+    match t.stack with
+    | { fnode; _ } :: _ -> G.add_node_before t.graph ~order_before:fnode payload
+    | [] -> G.add_node t.graph ~order_after:None payload
+  in
+  if t.use_partitions then begin
+    let part = { queue = Heap.create ~leq:t.heap_leq; on_dirty_list = false } in
+    (G.payload node).part_elt <- Some (Uf.make part)
+  end;
+  t.all_nodes <- node :: t.all_nodes;
+  node
+
+let new_storage t ~name =
+  new_node t
+    { name; kind = Storage; queued = false; on_stack = false;
+      discarded = false; seq = 0; part_elt = None }
+
+let new_instance t ~name ~strategy ?(static_deps = false) ~recompute () =
+  new_node t
+    {
+      name;
+      kind =
+        Instance
+          { strategy; recompute; static_deps; consistent = false;
+            ever_ran = false };
+      queued = false;
+      on_stack = false;
+      discarded = false;
+      seq = 0;
+      part_elt = None;
+    }
+
+(* Merge the partitions of the two endpoints of a new edge (§6.3 dynamic
+   refinement). Their inconsistent sets are melded in O(1). *)
+let link_partitions t src dst =
+  if t.use_partitions then
+    match ((G.payload src).part_elt, (G.payload dst).part_elt) with
+    | Some a, Some b ->
+      if not (Uf.same a b) then begin
+        t.c_unions <- t.c_unions + 1;
+        let merge keep absorbed =
+          Heap.meld keep.queue absorbed.queue;
+          if absorbed.on_dirty_list && not keep.on_dirty_list then begin
+            keep.on_dirty_list <- true;
+            t.dirty_parts <- keep :: t.dirty_parts
+          end;
+          keep
+        in
+        ignore (Uf.union ~merge a b)
+      end
+    | _ -> assert false
+
+(* Record a dependency edge src → consumer for the executing instance, if
+   any and if recording is not suppressed by [unchecked]. *)
+let record_dependency t src =
+  match t.stack with
+  | [] -> ()
+  | { fnode = consumer; stamp } :: _ ->
+    if t.mask then begin
+      if G.order_lt consumer src then begin
+        t.c_ooo <- t.c_ooo + 1;
+        (* under Topological scheduling, repair the drain order so this
+           dependency is processed before its consumer *)
+        if t.scheduling = Topological then
+          match
+            G.restore_topological_order t.graph ~src ~dst:consumer
+          with
+          | `Reordered _ -> t.c_fixups <- t.c_fixups + 1
+          | `Already_ordered | `Cycle -> ()
+      end;
+      G.add_edge ~stamp ~src ~dst:consumer;
+      link_partitions t src consumer
+    end
+
+let record_read t node = record_dependency t node
+
+let record_write t node ~changed =
+  record_dependency t node;
+  if changed then mark_inconsistent t node
+
+let dirty p =
+  match p.kind with
+  | Storage -> p.queued
+  | Instance inst -> p.queued || not inst.consistent
+
+(* Re-execute an incremental procedure instance under the call-stack
+   discipline of Algorithm 5: drop the dependencies recorded by the
+   previous execution, push a fresh frame, run, pop. Returns the quiescence
+   test: did the cached value change? *)
+let run_instance t node p inst =
+  if p.on_stack then raise (Cycle p.name);
+  (* §6.2 static subgraphs: a re-execution of a static-R(p) instance keeps
+     the dependency edges of its first execution and records none — its
+     frame runs with edge recording masked (nested frames restore it). *)
+  let reuse_static = inst.static_deps && inst.ever_ran in
+  if not reuse_static then G.clear_preds t.graph node;
+  t.exec_serial <- t.exec_serial + 1;
+  let stamp = t.exec_serial in
+  t.stack <- { fnode = node; stamp } :: t.stack;
+  p.on_stack <- true;
+  p.queued <- false;
+  inst.consistent <- true;
+  let saved_mask = t.mask in
+  t.mask <- not reuse_static;
+  let restore () =
+    t.mask <- saved_mask;
+    p.on_stack <- false;
+    t.stack <- List.tl t.stack
+  in
+  let changed =
+    try inst.recompute ()
+    with e ->
+      restore ();
+      (* leave the instance inconsistent so a later call retries *)
+      inst.consistent <- false;
+      raise e
+  in
+  restore ();
+  t.c_executions <- t.c_executions + 1;
+  Log.debug (fun m ->
+      m "%s: %s#%d (changed=%b)"
+        (if inst.ever_ran then "re-executed" else "first execution")
+        p.name (G.id node) changed);
+  if not inst.ever_ran then begin
+    t.c_first <- t.c_first + 1;
+    inst.ever_ran <- true
+  end;
+  changed
+
+(* Force a dirty instance to currency, notifying dependents on change. *)
+let force t node p inst =
+  let changed = run_instance t node p inst in
+  if changed then G.iter_succ (mark_inconsistent t) node
+
+(* Process one element of the inconsistent set, §4.5. *)
+let process_inconsistent t node p =
+  match p.kind with
+  | Storage -> G.iter_succ (mark_inconsistent t) node
+  | Instance inst -> (
+    match inst.strategy with
+    | Demand ->
+      if inst.consistent then begin
+        inst.consistent <- false;
+        G.iter_succ (mark_inconsistent t) node
+      end
+    | Eager -> force t node p inst)
+
+let settle_partition t part =
+  if not t.settling then begin
+    t.settling <- true;
+    let finally () = t.settling <- false in
+    Fun.protect ~finally @@ fun () ->
+      (* Nodes currently on the call stack must not be processed here (an
+         eager re-execution would be a false cycle); they stay queued and
+         are re-inserted after the drain, so their dirt is handled once
+         their own execution completes. *)
+      let skipped = ref [] in
+      let rec loop () =
+        match Heap.pop_min part.queue with
+        | None -> ()
+        | Some node ->
+          let p = G.payload node in
+          if p.queued then
+            if p.on_stack then skipped := node :: !skipped
+            else begin
+              Log.debug (fun m -> m "settle: %s#%d" p.name (G.id node));
+              p.queued <- false;
+              t.c_steps <- t.c_steps + 1;
+              process_inconsistent t node p
+            end;
+          loop ()
+      in
+      loop ();
+      match !skipped with
+      | [] -> part.on_dirty_list <- false
+      | l -> List.iter (Heap.insert part.queue) l
+  end
+
+let stabilize t =
+  let rec drain () =
+    match t.dirty_parts with
+    | [] -> ()
+    | part :: rest ->
+      t.dirty_parts <- rest;
+      settle_partition t part;
+      drain ()
+  in
+  drain ()
+
+(* Preemptable evaluation (§4.5: "the evaluation routine should be called
+   whenever cycles are available … and can be preempted when necessary"):
+   process at most [max_steps] inconsistent-set entries and stop. *)
+let settle_bounded t ~max_steps =
+  if t.settling || max_steps <= 0 then t.dirty_parts = []
+  else begin
+    t.settling <- true;
+    let budget = ref max_steps in
+    let finally () = t.settling <- false in
+    Fun.protect ~finally (fun () ->
+        let rec drain_parts () =
+          match t.dirty_parts with
+          | [] -> ()
+          | part :: rest ->
+            let skipped = ref [] in
+            let drained = ref false in
+            let rec loop () =
+              if !budget > 0 then
+                match Heap.pop_min part.queue with
+                | None -> drained := true
+                | Some node ->
+                  let p = G.payload node in
+                  (if p.queued then
+                     if p.on_stack then skipped := node :: !skipped
+                     else begin
+                       p.queued <- false;
+                       decr budget;
+                       t.c_steps <- t.c_steps + 1;
+                       process_inconsistent t node p
+                     end);
+                  loop ()
+            in
+            loop ();
+            List.iter (Heap.insert part.queue) !skipped;
+            if !drained && !skipped = [] then begin
+              (* this partition is quiescent; move on *)
+              part.on_dirty_list <- false;
+              t.dirty_parts <- rest;
+              if !budget > 0 then drain_parts ()
+            end
+        in
+        drain_parts ());
+    (* quiescent iff no partition still holds queued work *)
+    List.for_all
+      (fun (part : partition) ->
+        let rec clean () =
+          match Heap.peek_min part.queue with
+          | None -> true
+          | Some node ->
+            if (G.payload node).queued then false
+            else begin
+              ignore (Heap.pop_min part.queue);
+              clean ()
+            end
+        in
+        clean ())
+      t.dirty_parts
+  end
+
+let on_call t node =
+  let p = G.payload node in
+  match p.kind with
+  | Storage -> invalid_arg "Engine.on_call: storage node"
+  | Instance inst ->
+    if p.on_stack then begin
+      (* Re-entrant call: a dependency cycle. The caller still observed
+         this instance (it will typically turn the exception into an error
+         value, as the spreadsheet does), so record the dependency before
+         raising — otherwise a cached error value would never be
+         invalidated when another cycle participant is edited. *)
+      record_dependency t node;
+      raise (Cycle p.name)
+    end;
+    let executed = ref false in
+    (* Before trusting the cached value, propagate the pending
+       inconsistencies of this node's partition — Algorithm 5's
+       "IF SetSize(Inconsistent) > 0 THEN Evaluate". Inside the evaluator
+       itself we only force: re-entering settlement is both unnecessary
+       (the evaluator is already draining this queue) and guarded.
+
+       The caller receives the value cached by the instance's own (body)
+       execution. Writes performed *during* that execution may leave the
+       instance re-queued (e.g. the AVL balance rotations); that dirt is
+       deliberately left for the next settlement — re-forcing here would
+       hand the mutator the value of a *later* re-execution under the
+       already-mutated state (for balance: the demoted node's local
+       subtree instead of the new root), which is not what the imperative
+       program's call returns. *)
+    if not t.settling then settle_partition t (partition_of t node);
+    if dirty p then begin
+      force t node p inst;
+      executed := true
+    end;
+    if (not !executed) && inst.ever_ran then t.c_hits <- t.c_hits + 1;
+    (* The dependency edge is recorded only now, after any forcing, so the
+       consumer is never spuriously invalidated by the fresh value it is
+       about to read. *)
+    record_dependency t node
+
+let removable _t node =
+  let p = G.payload node in
+  (match p.kind with Storage -> false | Instance _ -> true)
+  && (not p.on_stack) && (not p.queued) && (not p.discarded)
+  && G.succ_count node = 0
+
+let discard t node =
+  let p = G.payload node in
+  if not (removable t node) then invalid_arg "Engine.discard: not removable";
+  p.discarded <- true;
+  t.c_evictions <- t.c_evictions + 1;
+  G.remove_node t.graph node
+
+let unchecked t f =
+  let saved = t.mask in
+  t.mask <- false;
+  let finally () = t.mask <- saved in
+  Fun.protect ~finally f
+
+let is_executing t = t.stack <> []
+
+let recording t = t.mask && t.stack <> []
+
+let node_name node = (G.payload node).name
+let node_id node = G.id node
+let succ_count node = G.succ_count node
+let pred_count node = G.pred_count node
+
+let stats t =
+  {
+    executions = t.c_executions;
+    first_executions = t.c_first;
+    cache_hits = t.c_hits;
+    settle_steps = t.c_steps;
+    queue_pushes = t.c_pushes;
+    unions = t.c_unions;
+    out_of_order_edges = t.c_ooo;
+    order_fixups = t.c_fixups;
+    evictions = t.c_evictions;
+  }
+
+let reset_stats t =
+  t.c_executions <- 0;
+  t.c_first <- 0;
+  t.c_hits <- 0;
+  t.c_steps <- 0;
+  t.c_pushes <- 0;
+  t.c_unions <- 0;
+  t.c_ooo <- 0;
+  t.c_fixups <- 0;
+  t.c_evictions <- 0
+
+let graph_stats t = G.stats t.graph
+
+let iter_nodes t f =
+  List.iter (fun n -> if not (G.payload n).discarded then f n) t.all_nodes
+
+let node_kind node =
+  match (G.payload node).kind with
+  | Storage -> `Storage
+  | Instance _ -> `Instance
+
+let node_dirty node = dirty (G.payload node)
+
+let iter_node_succ f node = G.iter_succ f node
+let iter_node_pred f node = G.iter_pred f node

@@ -1,0 +1,215 @@
+(** The Alphonse incremental-computation engine (paper §4–§5).
+
+    The engine owns the dynamic dependency graph, the call stack of
+    currently-executing incremental procedure instances, and the
+    inconsistent sets that drive quiescence propagation. It implements the
+    engine half of the three transformation templates:
+
+    - [access] (Algorithm 3) → {!new_storage} + {!record_read}
+    - [modify] (Algorithm 4) → {!record_write}
+    - [call]   (Algorithm 5) → {!new_instance} + {!on_call}
+
+    The typed halves (value cells, argument tables, result caches) live in
+    {!Var} and {!Func}, which hold their state in closures so the engine
+    itself is value-agnostic.
+
+    {2 Deviations from the paper, and why}
+
+    - Algorithm 5 runs the evaluator on any call finding a cached node with
+      a non-empty inconsistent set. We run it only when no incremental
+      procedure is executing; a dirty dependency reached {e during} an
+      execution is recomputed on the spot ({!on_call} forces it), which
+      computes the same values without re-entering the evaluator.
+    - Algorithm 4 compares the written value against the value cached in
+      the storage node. We compare against the current contents of the
+      typed cell, which is equal to it except in A→B→A write sequences
+      between propagations; there we conservatively schedule a propagation
+      that quiesces immediately. *)
+
+type t
+(** An engine instance. Distinct engines are fully independent. *)
+
+val log_src : Logs.src
+(** The engine's tracing source ("alphonse.engine"): set it to [Debug]
+    to stream marks, (re-)executions and settle pops — the observability
+    counterpart of the paper's §10 debugging remark. *)
+
+type node
+(** A dependency-graph node owned by some engine: either an abstract
+    storage location or an incremental procedure instance. *)
+
+type strategy =
+  | Demand  (** lazily update on calls (the [DEMAND] pragma argument) *)
+  | Eager   (** update during propagation (the [EAGER] pragma argument) *)
+
+(** How the evaluator selects the next element of the inconsistent set —
+    §4.5's "selection of u from the set is done using an algorithm such
+    as [Hud86, Hoo86, Hoo87, AHR+90]". Correctness is order-independent
+    (a dirty dependency reached during an execution is recomputed on the
+    spot); the order governs how much redundant re-execution eager
+    propagation performs on diamond-shaped graphs. *)
+type scheduling =
+  | Creation_order
+      (** priorities fixed at node creation: dependencies discovered
+          during an execution drain before their consumer (default) *)
+  | Topological
+      (** creation priorities plus Pearce–Kelly restoration on every
+          order-violating edge, keeping the drain order topological *)
+  | Fifo  (** no priorities: first marked, first processed *)
+
+exception Cycle of string
+(** Raised when an incremental procedure instance (transitively) calls
+    itself with identical arguments — e.g. a circular spreadsheet formula.
+    The payload names the offending instance. *)
+
+val create :
+  ?partitioning:bool ->
+  ?default_strategy:strategy ->
+  ?scheduling:scheduling ->
+  unit ->
+  t
+(** [create ()] makes a fresh engine. [partitioning] (default [false])
+    enables the dynamic union–find partitioning of §6.3: each call then
+    propagates only the inconsistencies of the called node's partition.
+    [default_strategy] (default [Demand]) applies to instances created
+    without an explicit strategy. [scheduling] (default
+    [Creation_order]) picks the inconsistent-set drain order. *)
+
+val default_strategy : t -> strategy
+val partitioning : t -> bool
+val scheduling : t -> scheduling
+
+(** {1 Storage side (used by [Var])} *)
+
+val new_storage : t -> name:string -> node
+(** Creates the dependency-graph node for an abstract storage location; in
+    the paper this happens on the first [access] inside an Alphonse
+    procedure, and {!Var} follows that discipline. *)
+
+val record_read : t -> node -> unit
+(** Registers that the currently-executing incremental instance (if any)
+    read this node. No-op outside incremental execution or under
+    {!unchecked}. *)
+
+val record_write : t -> node -> changed:bool -> unit
+(** Registers a write: a read-style dependency edge for the executing
+    instance (a maintained procedure must re-execute if storage it wrote is
+    later clobbered, §4.3), plus — when [changed] — marking the node
+    inconsistent. *)
+
+(** {1 Instance side (used by [Func])} *)
+
+val new_instance :
+  t ->
+  name:string ->
+  strategy:strategy ->
+  ?static_deps:bool ->
+  recompute:(unit -> bool) ->
+  unit ->
+  node
+(** Creates an incremental procedure instance node. [recompute] re-executes
+    the user procedure under the engine's call-stack discipline (the engine
+    clears predecessor edges and pushes the stack around it), stores the
+    result in the caller's typed cache, and returns whether the cached
+    value changed — the quiescence test. A fresh instance is inconsistent;
+    the first {!on_call} executes it.
+
+    [static_deps] (default [false]) enables the static subgraph
+    representation of §6.2: the programmer asserts that the instance's
+    referenced-argument set R(p) is identical on every execution, so the
+    dependency edges recorded by the first run are kept verbatim —
+    re-executions skip both [RemovePredEdges] and edge recording. Unsound
+    if the assertion is false (a dependency read only on some executions
+    would go untracked). *)
+
+val on_call : t -> node -> unit
+(** The engine part of a [call] to an incremental instance: settles the
+    node's partition when appropriate, forces the node if it is
+    inconsistent, and records the dependency of the calling instance (if
+    any). On return the typed cache behind [recompute] is current.
+    @raise Cycle on re-entrant calls to an instance already executing. *)
+
+val removable : t -> node -> bool
+(** Whether an instance node may be discarded by cache replacement: it has
+    no live dependents, is not executing, and is not pending propagation.
+    Evicting only such nodes keeps replacement sound (a dependent of an
+    evicted node could otherwise miss change notifications). *)
+
+val discard : t -> node -> unit
+(** Removes an instance node from the graph (cache eviction). The caller
+    must have checked {!removable}. *)
+
+(** {1 Control} *)
+
+val stabilize : t -> unit
+(** Runs propagation to quiescence over every partition: processes the
+    inconsistent sets as in §4.5. For [Eager] instances this re-executes
+    affected procedures now; for [Demand] instances it spreads dirty flags.
+    This is the "evaluation routine [to] be called whenever cycles are
+    available". *)
+
+val settle_bounded : t -> max_steps:int -> bool
+(** Preemptable evaluation (§4.5): processes at most [max_steps] elements
+    of the inconsistent sets, in priority order, and returns whether the
+    engine is now quiescent. Intended for spending idle cycles in slices
+    ("the evaluation routine should be called whenever cycles are
+    available … and can be preempted when necessary"). *)
+
+val unchecked : t -> (unit -> 'a) -> 'a
+(** [unchecked t f] runs [f] with dependency recording suppressed for the
+    current execution — the [(*UNCHECKED*)] pragma of §6.4. Reads and calls
+    made by [f] register no edges for the current consumer; procedures
+    called by [f] still track their own dependencies internally. Writes are
+    still propagated (suppressing them would be unsound, not merely
+    imprecise). *)
+
+val is_executing : t -> bool
+(** Whether an incremental procedure instance is currently on the call
+    stack. *)
+
+val recording : t -> bool
+(** Whether an access made right now would record a dependency edge: an
+    incremental instance is executing and recording is not suppressed by
+    {!unchecked}. [Var] uses this to follow Algorithm 3's discipline of
+    materializing storage nodes only on tracked accesses. *)
+
+val node_name : node -> string
+val node_id : node -> int
+
+val succ_count : node -> int
+(** Live dependents of a node — exposed for the E8 dependency-count
+    benches. *)
+
+val pred_count : node -> int
+
+(** {1 Statistics (benches E1–E11)} *)
+
+type stats = {
+  executions : int;  (** procedure (re)executions, including first runs *)
+  first_executions : int;
+  cache_hits : int;  (** calls answered from a consistent cached value *)
+  settle_steps : int;  (** inconsistent-set pops processed *)
+  queue_pushes : int;  (** nodes marked inconsistent *)
+  unions : int;  (** partition unions performed *)
+  out_of_order_edges : int;
+      (** edges whose source was ordered after its destination when added —
+          how far the priority order strays from topological *)
+  order_fixups : int;
+      (** Pearce–Kelly reorderings performed (Topological scheduling) *)
+  evictions : int;
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zeroes the counters of {!stats} (graph totals are unaffected). *)
+
+val graph_stats : t -> Depgraph.Graph.stats
+
+val iter_nodes : t -> (node -> unit) -> unit
+(** Iterates over all live nodes, for {!Inspect}. *)
+
+val node_kind : node -> [ `Storage | `Instance ]
+val node_dirty : node -> bool
+val iter_node_succ : (node -> unit) -> node -> unit
+val iter_node_pred : (node -> unit) -> node -> unit

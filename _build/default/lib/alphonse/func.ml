@@ -1,0 +1,147 @@
+type ('a, 'b) t = {
+  eng : Engine.t;
+  fname : string;
+  strategy : Engine.strategy;
+  policy : Policy.t;
+  static_deps : bool;
+  value_equal : 'b -> 'b -> bool;
+  body : ('a, 'b) t -> 'a -> 'b;
+  table : ('a, ('a, 'b) entry) Htbl.t;
+  (* recency list: [newest] is the most recently used (LRU) or most
+     recently inserted (FIFO); eviction scans from [oldest]. *)
+  mutable newest : ('a, 'b) entry option;
+  mutable oldest : ('a, 'b) entry option;
+}
+
+and ('a, 'b) entry = {
+  key : 'a;
+  enode : Engine.node;
+  cache : 'b option ref;
+  mutable younger : ('a, 'b) entry option;
+  mutable older : ('a, 'b) entry option;
+  mutable live : bool;
+}
+
+let fcounter = ref 0
+
+let create eng ?name ?strategy ?(policy = Policy.Unbounded)
+    ?(static_deps = false) ?(hash_arg = Hashtbl.hash) ?(equal_arg = ( = ))
+    ?(equal_result = ( = )) body =
+  incr fcounter;
+  let fname =
+    match name with Some n -> n | None -> Fmt.str "func#%d" !fcounter
+  in
+  let strategy =
+    match strategy with Some s -> s | None -> Engine.default_strategy eng
+  in
+  {
+    eng;
+    fname;
+    strategy;
+    policy;
+    static_deps;
+    value_equal = equal_result;
+    body;
+    table = Htbl.create ~hash:hash_arg ~equal:equal_arg ();
+    newest = None;
+    oldest = None;
+  }
+
+let unlink t e =
+  (match e.younger with
+  | Some y -> y.older <- e.older
+  | None -> t.newest <- e.older);
+  (match e.older with
+  | Some o -> o.younger <- e.younger
+  | None -> t.oldest <- e.younger);
+  e.younger <- None;
+  e.older <- None
+
+let push_front t e =
+  e.older <- t.newest;
+  e.younger <- None;
+  (match t.newest with Some n -> n.younger <- Some e | None -> ());
+  t.newest <- Some e;
+  match t.oldest with None -> t.oldest <- Some e | Some _ -> ()
+
+let evict t e =
+  Htbl.remove t.table e.key;
+  unlink t e;
+  e.live <- false;
+  Engine.discard t.eng e.enode
+
+(* Enforce the capacity bound, evicting only sound candidates (no live
+   dependents, not pending, not executing) and never the entry just
+   inserted. Gives up rather than evicting an unsound candidate. *)
+let maybe_evict t ~keep =
+  match Policy.capacity t.policy with
+  | None -> ()
+  | Some cap ->
+    let excess () = Htbl.length t.table - cap in
+    let rec scan e_opt =
+      if excess () > 0 then
+        match e_opt with
+        | None -> ()
+        | Some e when e == keep -> scan e.younger
+        | Some e ->
+          let next = e.younger in
+          if Engine.removable t.eng e.enode then evict t e;
+          scan next
+    in
+    scan t.oldest
+
+let find_or_create t a =
+  match Htbl.find t.table a with
+  | Some e -> e
+  | None ->
+    let cache = ref None in
+    let recompute_ref = ref (fun () -> true) in
+    let enode =
+      Engine.new_instance t.eng ~name:t.fname ~strategy:t.strategy
+        ~static_deps:t.static_deps
+        ~recompute:(fun () -> !recompute_ref ())
+        ()
+    in
+    let e = { key = a; enode; cache; younger = None; older = None;
+              live = true }
+    in
+    (recompute_ref :=
+       fun () ->
+         let v = t.body t a in
+         let changed =
+           match !cache with
+           | Some old -> not (t.value_equal old v)
+           | None -> true
+         in
+         cache := Some v;
+         changed);
+    Htbl.add t.table a e;
+    push_front t e;
+    maybe_evict t ~keep:e;
+    e
+
+let call t a =
+  let e = find_or_create t a in
+  (match t.policy with
+  | Policy.Lru _ when e.live -> (
+    match t.newest with
+    | Some n when n == e -> ()
+    | _ ->
+      unlink t e;
+      push_front t e)
+  | _ -> ());
+  Engine.on_call t.eng e.enode;
+  match !(e.cache) with
+  | Some v -> v
+  | None -> assert false (* on_call always fills a fresh cache *)
+
+let size t = Htbl.length t.table
+
+let peek t a =
+  match Htbl.find t.table a with Some e -> !(e.cache) | None -> None
+
+let node t a =
+  match Htbl.find t.table a with Some e -> Some e.enode | None -> None
+
+let name t = t.fname
+let engine t = t.eng

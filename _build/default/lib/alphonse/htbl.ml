@@ -1,0 +1,69 @@
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mutable buckets : ('k * 'v) list array;
+  mutable size : int;
+}
+
+let create ?(initial_capacity = 16) ~hash ~equal () =
+  let cap = max 1 initial_capacity in
+  { hash; equal; buckets = Array.make cap []; size = 0 }
+
+let length t = t.size
+
+let index t k = t.hash k land max_int mod Array.length t.buckets
+
+let find t k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest -> if t.equal k k' then Some v else go rest
+  in
+  go t.buckets.(index t k)
+
+let grow t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) [];
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun ((k, _) as binding) ->
+          let i = index t k in
+          t.buckets.(i) <- binding :: t.buckets.(i))
+        chain)
+    old
+
+let add t k v =
+  (match find t k with
+  | Some _ -> invalid_arg "Htbl.add: key already bound"
+  | None -> ());
+  if t.size >= 2 * Array.length t.buckets then grow t;
+  let i = index t k in
+  t.buckets.(i) <- (k, v) :: t.buckets.(i);
+  t.size <- t.size + 1
+
+let remove t k =
+  let i = index t k in
+  let removed = ref false in
+  let rec go = function
+    | [] -> []
+    | ((k', _) as binding) :: rest ->
+      if (not !removed) && t.equal k k' then begin
+        removed := true;
+        rest
+      end
+      else binding :: go rest
+  in
+  t.buckets.(i) <- go t.buckets.(i);
+  if !removed then t.size <- t.size - 1
+
+let iter f t =
+  Array.iter (fun chain -> List.iter (fun (k, v) -> f k v) chain) t.buckets
+
+let fold f t init =
+  Array.fold_left
+    (fun acc chain -> List.fold_left (fun acc (k, v) -> f k v acc) acc chain)
+    init t.buckets
+
+let clear t =
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.size <- 0

@@ -1,0 +1,30 @@
+(** Closure-parameterized hash table.
+
+    The argument tables of §4.2 are keyed by user argument vectors whose
+    hashing and equality the programmer supplies per procedure (object
+    arguments compare by identity, value arguments structurally). A functor
+    would force a module per call site; closures keep {!Func.create} a
+    one-liner. Separate chaining with doubling growth. *)
+
+type ('k, 'v) t
+
+val create :
+  ?initial_capacity:int ->
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Adds a binding. The key must be absent (argument tables never rebind);
+    checked in debug: a duplicate add raises [Invalid_argument]. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Removes the binding if present. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,144 @@
+(** Introspection over a live engine: statistics pretty-printing and
+    Graphviz export of the dependency graph. The paper notes (§10) that
+    "the dynamic dependence information gathered by Alphonse can also be
+    used for additional advantage, such as in debugging"; this module is
+    that debugging view. *)
+
+let pp_stats ppf (s : Engine.stats) =
+  Fmt.pf ppf
+    "@[<v>executions:     %d (first: %d, re: %d)@,\
+     cache hits:     %d@,\
+     settle steps:   %d@,\
+     queue pushes:   %d@,\
+     unions:         %d@,\
+     out-of-order:   %d (fixups: %d)@,\
+     evictions:      %d@]"
+    s.executions s.first_executions
+    (s.executions - s.first_executions)
+    s.cache_hits s.settle_steps s.queue_pushes s.unions s.out_of_order_edges
+    s.order_fixups s.evictions
+
+let pp_graph_stats ppf (g : Depgraph.Graph.stats) =
+  Fmt.pf ppf
+    "@[<v>nodes:          %d live / %d total@,\
+     edges:          %d live / %d total (%d removed)@,\
+     order relabels: %d@]"
+    g.live_nodes g.total_nodes g.live_edges g.total_edges g.removed_edges
+    g.order_relabels
+
+(** Parallel-execution profile (§10: the dependency information "can also
+    be used for … scheduling parallel execution"): the topological level
+    sets of the current dependency graph. Instances in the same level
+    have no dependencies between them and could re-execute concurrently;
+    the number of levels is the critical path, and total/critical is the
+    available speedup bound. Cycles (possible in user programs, e.g.
+    circular spreadsheets) contribute no extra depth. *)
+type parallel_profile = {
+  level_widths : int list;  (** instances per level, level 0 first *)
+  critical_path : int;  (** number of levels *)
+  total_instances : int;
+  max_width : int;
+  speedup_bound : float;  (** total / critical path *)
+}
+
+let parallel_profile eng =
+  let levels : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let in_progress : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* only instances contribute depth: a storage node sits at its deepest
+     writer's level, so a maintained write-then-read chain costs one
+     level per re-execution, not two *)
+  let rec level n =
+    let id = Engine.node_id n in
+    match Hashtbl.find_opt levels id with
+    | Some l -> l
+    | None ->
+      if Hashtbl.mem in_progress id then 0 (* cycle: cut here *)
+      else begin
+        Hashtbl.replace in_progress id ();
+        let deepest = ref 0 in
+        Engine.iter_node_pred
+          (fun m -> deepest := max !deepest (level m))
+          n;
+        Hashtbl.remove in_progress id;
+        let l =
+          !deepest + (match Engine.node_kind n with `Instance -> 1 | `Storage -> 0)
+        in
+        Hashtbl.replace levels id l;
+        l
+      end
+  in
+  let width : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  Engine.iter_nodes eng (fun n ->
+      if Engine.node_kind n = `Instance then begin
+        incr total;
+        let l = level n - 1 in
+        Hashtbl.replace width l (1 + Option.value ~default:0 (Hashtbl.find_opt width l))
+      end);
+  let depth = Hashtbl.fold (fun l _ acc -> max acc (l + 1)) width 0 in
+  let level_widths =
+    List.init depth (fun l -> Option.value ~default:0 (Hashtbl.find_opt width l))
+  in
+  let max_width = List.fold_left max 0 level_widths in
+  {
+    level_widths;
+    critical_path = depth;
+    total_instances = !total;
+    max_width;
+    speedup_bound =
+      (if depth = 0 then 1.
+       else float_of_int !total /. float_of_int depth);
+  }
+
+let pp_parallel_profile ppf p =
+  Fmt.pf ppf
+    "@[<v>instances:     %d@,\
+     critical path: %d level(s)@,\
+     max width:     %d@,\
+     speedup bound: %.1fx@,\
+     widths:        %a@]"
+    p.total_instances p.critical_path p.max_width p.speedup_bound
+    Fmt.(list ~sep:(any " ") int)
+    p.level_widths
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(** Render the dependency graph in Graphviz DOT syntax. Storage nodes are
+    boxes, instance nodes are ellipses; inconsistent nodes are shaded. *)
+let to_dot ?(show_storage = true) eng =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph alphonse {\n  rankdir=BT;\n";
+  Engine.iter_nodes eng (fun n ->
+      let keep = show_storage || Engine.node_kind n = `Instance in
+      if keep then begin
+        let shape =
+          match Engine.node_kind n with
+          | `Storage -> "box"
+          | `Instance -> "ellipse"
+        in
+        let fill = if Engine.node_dirty n then ", style=filled" else "" in
+        Buffer.add_string buf
+          (Fmt.str "  n%d [label=\"%s#%d\", shape=%s%s];\n" (Engine.node_id n)
+             (dot_escape (Engine.node_name n))
+             (Engine.node_id n) shape fill)
+      end);
+  Engine.iter_nodes eng (fun n ->
+      let keep = show_storage || Engine.node_kind n = `Instance in
+      if keep then
+        Engine.iter_node_succ
+          (fun m ->
+            if show_storage || Engine.node_kind m = `Instance then
+              Buffer.add_string buf
+                (Fmt.str "  n%d -> n%d;\n" (Engine.node_id n)
+                   (Engine.node_id m)))
+          n);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+type 'a t = {
+  eng : Engine.t;
+  vname : string;
+  equal : 'a -> 'a -> bool;
+  mutable contents : 'a;
+  mutable vnode : Engine.node option;
+}
+
+let counter = ref 0
+
+let create eng ?name ?(equal = ( = )) v =
+  incr counter;
+  let vname =
+    match name with Some n -> n | None -> Fmt.str "var#%d" !counter
+  in
+  { eng; vname; equal; contents = v; vnode = None }
+
+(* Algorithm 3: the dependency node appears on the first access made under
+   an executing incremental procedure. *)
+let ensure_node t =
+  match t.vnode with
+  | Some n -> n
+  | None ->
+    let n = Engine.new_storage t.eng ~name:t.vname in
+    t.vnode <- Some n;
+    n
+
+let get t =
+  if Engine.recording t.eng then Engine.record_read t.eng (ensure_node t);
+  t.contents
+
+let set t v =
+  (* Algorithm 4 opens with access(l): the write itself is a dependency of
+     the executing procedure, which must re-run if the location is later
+     clobbered by someone else. *)
+  let node =
+    if Engine.recording t.eng then Some (ensure_node t) else t.vnode
+  in
+  match node with
+  | None -> t.contents <- v (* untracked: no Alphonse overhead, §6.1 *)
+  | Some n ->
+    let changed = not (t.equal t.contents v) in
+    t.contents <- v;
+    Engine.record_write t.eng n ~changed
+
+let update t f = set t (f (get t))
+let name t = t.vname
+let is_tracked t = t.vnode <> None
+let node t = t.vnode
+let engine t = t.eng

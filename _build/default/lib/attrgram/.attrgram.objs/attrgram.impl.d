@@ -1,0 +1,1 @@
+lib/attrgram/attrgram.ml: Ag Binary Let_lang Let_lang_static Static_ag

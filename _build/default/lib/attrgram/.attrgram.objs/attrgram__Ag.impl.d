@@ -1,0 +1,1 @@
+lib/attrgram/ag.ml: Alphonse Fmt List String

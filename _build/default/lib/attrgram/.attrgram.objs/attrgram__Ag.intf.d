@@ -1,0 +1,1 @@
+lib/attrgram/ag.mli: Alphonse Format

@@ -1,0 +1,1 @@
+lib/attrgram/binary.ml: Ag Fmt List Option String

@@ -1,0 +1,1 @@
+lib/attrgram/binary.mli: Ag Alphonse

@@ -1,0 +1,1 @@
+lib/attrgram/let_lang.ml: Ag Fmt List Option

@@ -1,0 +1,1 @@
+lib/attrgram/let_lang.mli: Ag Alphonse Format

@@ -1,0 +1,1 @@
+lib/attrgram/let_lang_static.ml: Let_lang List Static_ag

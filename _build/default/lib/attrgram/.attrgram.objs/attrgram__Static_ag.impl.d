@@ -1,0 +1,1 @@
+lib/attrgram/static_ag.ml: Array Fmt Hashtbl List Option Queue

@@ -1,0 +1,12 @@
+(** Attribute grammars as Alphonse data types (paper §7.1).
+
+    {!Ag} is the framework (production-instance trees, tracked structure,
+    attributes as maintained methods); {!Let_lang} is the paper's
+    let-expression grammar (Algorithms 6–9); {!Binary} is Knuth's binary
+    numeral grammar, the classic inherited-attribute example. *)
+
+module Ag = Ag
+module Let_lang = Let_lang
+module Binary = Binary
+module Static_ag = Static_ag
+module Let_lang_static = Let_lang_static

@@ -1,0 +1,171 @@
+(** Knuth's binary-numeral grammar (the original attribute-grammar
+    example, [Knu68] in the paper's references) as a second instance of
+    the framework: a synthesized [value], a synthesized [length], and an
+    inherited [scale].
+
+    {v
+    N ::= L           N.value = L.value            L.scale = 0
+    N ::= L1 . L2     N.value = L1.value + L2.value
+                      L1.scale = 0                 L2.scale = -L2.length
+    L ::= B           L.value = B.value            B.scale = L.scale
+                      L.length = 1
+    L ::= L1 B        L.value = L1.value + B.value
+                      B.scale = L.scale            L1.scale = L.scale + 1
+                      L.length = L1.length + 1
+    B ::= 0           B.value = 0
+    B ::= 1           B.value = 2^B.scale
+    v}
+
+    Productions: ["num"] with one or two list children; ["cons"]
+    (L ::= L1 B) with children [[L1; B]]; ["one_bit"] (L ::= B) with one
+    ["bit"] child; ["bit"] with integer terminal ["b"] ∈ {0,1}. *)
+
+module A = Ag
+
+type value =
+  | F of float  (** the value and scale attributes *)
+  | I of int  (** bit terminals and the length attribute *)
+
+let f_of = function F x -> x | I n -> float_of_int n
+let i_of = function I n -> n | F _ -> invalid_arg "Binary: expected int"
+
+type t = {
+  grammar : value A.grammar;
+  value : value A.attr;
+  scale : value A.attr;
+  length : value A.attr;
+}
+
+let create ?strategy eng =
+  let grammar = A.create eng in
+  let value_ref = ref None and scale_ref = ref None and length_ref = ref None in
+  let eval_value n = A.eval (Option.get !value_ref) n in
+  let eval_scale n = A.eval (Option.get !scale_ref) n in
+  let eval_length n = A.eval (Option.get !length_ref) n in
+  (* synthesized: number of bits in an L list *)
+  let length =
+    A.attribute ?strategy grammar ~name:"length" (fun n ->
+        match A.prod n with
+        | "one_bit" -> I 1
+        | "cons" -> I (i_of (eval_length (A.child n 0)) + 1)
+        | p -> Fmt.invalid_arg "Binary.length: unexpected production %s" p)
+  in
+  (* inherited: the power of two of this node's least significant bit *)
+  let scale =
+    A.attribute ?strategy grammar ~name:"scale" (fun n ->
+        match A.parent n with
+        | None -> F 0.
+        | Some p -> (
+          match (A.prod p, A.index_in_parent n) with
+          | "num", Some 0 -> F 0.
+          | "num", Some 1 -> F (-.float_of_int (i_of (eval_length n)))
+          | "one_bit", _ -> eval_scale p
+          | "cons", Some 0 -> F (f_of (eval_scale p) +. 1.)
+          | "cons", Some 1 -> eval_scale p
+          | p', _ -> Fmt.invalid_arg "Binary.scale: unexpected parent %s" p'))
+  in
+  let value =
+    A.attribute ?strategy grammar ~name:"value" (fun n ->
+        match A.prod n with
+        | "num" -> (
+          match A.children n with
+          | [ l ] -> eval_value l
+          | [ l1; l2 ] -> F (f_of (eval_value l1) +. f_of (eval_value l2))
+          | _ -> invalid_arg "Binary.value: num arity")
+        | "one_bit" -> eval_value (A.child n 0)
+        | "cons" ->
+          F (f_of (eval_value (A.child n 0)) +. f_of (eval_value (A.child n 1)))
+        | "bit" ->
+          if i_of (A.terminal n "b") = 0 then F 0.
+          else F (2. ** f_of (eval_scale n))
+        | p -> Fmt.invalid_arg "Binary.value: unexpected production %s" p)
+  in
+  value_ref := Some value;
+  scale_ref := Some scale;
+  length_ref := Some length;
+  { grammar; value; scale; length }
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bit t b =
+  if b <> 0 && b <> 1 then invalid_arg "Binary.bit: must be 0 or 1";
+  A.node t.grammar ~prod:"bit" ~terminals:[ ("b", I b) ] []
+
+let one_bit t b = A.node t.grammar ~prod:"one_bit" [ b ]
+let cons t l b = A.node t.grammar ~prod:"cons" [ l; b ]
+let num t ?frac int_part =
+  match frac with
+  | None -> A.node t.grammar ~prod:"num" [ int_part ]
+  | Some f -> A.node t.grammar ~prod:"num" [ int_part; f ]
+
+(** Build a numeral tree from a string like ["1101.01"]. *)
+let of_string t s =
+  let list_of_bits bits =
+    match bits with
+    | [] -> invalid_arg "Binary.of_string: empty bit list"
+    | b0 :: rest ->
+      List.fold_left (fun l b -> cons t l (bit t b)) (one_bit t (bit t b0)) rest
+  in
+  let bits_of_str part =
+    List.init (String.length part) (fun i ->
+        match part.[i] with
+        | '0' -> 0
+        | '1' -> 1
+        | c -> Fmt.invalid_arg "Binary.of_string: bad bit %c" c)
+  in
+  match String.split_on_char '.' s with
+  | [ ip ] -> num t (list_of_bits (bits_of_str ip))
+  | [ ip; fp ] ->
+    num t ~frac:(list_of_bits (bits_of_str fp)) (list_of_bits (bits_of_str ip))
+  | _ -> invalid_arg "Binary.of_string: too many dots"
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation and edits                                                *)
+(* ------------------------------------------------------------------ *)
+
+let value_of t n = f_of (A.eval t.value n)
+
+(** From-scratch reference over the same mutable tree. *)
+let exhaustive_value n =
+  let rec bits acc l =
+    match A.prod l with
+    | "one_bit" -> bit_val (A.child l 0) :: acc
+    | "cons" -> bits (bit_val (A.child l 1) :: acc) (A.child l 0)
+    | p -> Fmt.invalid_arg "Binary.exhaustive: %s" p
+  and bit_val b = i_of (A.terminal b "b") in
+  let eval_list l scale0 =
+    (* bits returned least-significant last *)
+    let bs = List.rev (bits [] l) in
+    (* bs: least significant first *)
+    List.fold_left
+      (fun (acc, sc) b -> (acc +. (float_of_int b *. (2. ** sc)), sc +. 1.))
+      (0., scale0) bs
+    |> fst
+  in
+  match A.children n with
+  | [ l ] -> eval_list l 0.
+  | [ l1; l2 ] ->
+    let frac_len =
+      let rec len l =
+        match A.prod l with
+        | "one_bit" -> 1
+        | "cons" -> 1 + len (A.child l 0)
+        | p -> Fmt.invalid_arg "Binary.exhaustive: %s" p
+      in
+      len l2
+    in
+    eval_list l1 0. +. eval_list l2 (-.float_of_int frac_len)
+  | _ -> invalid_arg "Binary.exhaustive: num arity"
+
+(** Flip one bit leaf. *)
+let flip b =
+  let v = i_of (A.terminal b "b") in
+  A.set_terminal b "b" (I (1 - v))
+
+(** All bit leaves of a numeral, left to right. *)
+let bit_leaves n =
+  let acc = ref [] in
+  A.iter (fun m -> if A.prod m = "bit" then acc := m :: !acc) n;
+  List.rev !acc

@@ -1,0 +1,48 @@
+(** Knuth's binary-numeral grammar ([Knu68] in the paper's references) as
+    a second framework instance: synthesized [value] and [length],
+    inherited [scale]. The classic demonstration that inherited
+    attributes flow context {e down} while synthesized attributes flow
+    results {e up} — both discovered dynamically here. *)
+
+type value =
+  | F of float  (** the value and scale attributes *)
+  | I of int  (** bit terminals and the length attribute *)
+
+val f_of : value -> float
+val i_of : value -> int
+
+type t
+(** The instantiated grammar and its three attributes. *)
+
+val create : ?strategy:Alphonse.Engine.strategy -> Alphonse.Engine.t -> t
+
+(** {1 Constructors} *)
+
+val bit : t -> int -> value Ag.node
+(** A bit leaf; the argument must be 0 or 1. *)
+
+val one_bit : t -> value Ag.node -> value Ag.node
+(** The list production [L ::= B]. *)
+
+val cons : t -> value Ag.node -> value Ag.node -> value Ag.node
+(** The list production [L ::= L1 B]. *)
+
+val num : t -> ?frac:value Ag.node -> value Ag.node -> value Ag.node
+(** [num t int_part] or [num t ~frac int_part] — the numeral root. *)
+
+val of_string : t -> string -> value Ag.node
+(** Build a numeral from text like ["1101.01"]. *)
+
+(** {1 Evaluation and edits} *)
+
+val value_of : t -> value Ag.node -> float
+(** Incremental value of a numeral. *)
+
+val exhaustive_value : value Ag.node -> float
+(** From-scratch reference over the same mutable tree. *)
+
+val flip : value Ag.node -> unit
+(** Flip one bit leaf. *)
+
+val bit_leaves : value Ag.node -> value Ag.node list
+(** All bit leaves, left to right. *)

@@ -1,0 +1,149 @@
+(** The paper's attribute-grammar example (§7.1, Algorithms 6–9): a
+    let-expression language with a synthesized [value] attribute and an
+    inherited [env] attribute.
+
+    {v
+    ROOT ::= EXP              ROOT.value = EXP.value
+                              EXP.env    = EmptyEnv()
+    EXP0 ::= EXP1 + EXP2      EXP0.value = EXP1.value + EXP2.value
+                              EXPi.env   = EXP0.env
+    EXP0 ::= let ID = EXP1 in EXP2 ni
+                              EXP0.value = EXP2.value
+                              EXP1.env   = EXP0.env
+                              EXP2.env   = UpdateEnv(EXP0.env, ID, EXP1.value)
+    EXP  ::= ID               EXP.value  = LookupEnv(EXP.env, ID)
+    EXP  ::= INT              EXP.value  = INT
+    v}
+
+    The [env] equation set is one attribute whose body dispatches on the
+    parent production and child slot, exactly the paper's [LetEnv] "IF c =
+    o.expl THEN … ELSE …" encoding of inherited attributes. *)
+
+module A = Ag
+
+type value =
+  | VInt of int
+  | VStr of string
+  | VEnv of (string * int) list
+
+let pp_value ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VStr s -> Fmt.string ppf s
+  | VEnv e ->
+    Fmt.pf ppf "[%a]"
+      Fmt.(list ~sep:semi (pair ~sep:(any "=") string int))
+      e
+
+exception Unbound_identifier of string
+
+let int_of = function
+  | VInt n -> n
+  | v -> Fmt.invalid_arg "Let_lang: expected int, got %a" pp_value v
+
+let env_of = function
+  | VEnv e -> e
+  | v -> Fmt.invalid_arg "Let_lang: expected env, got %a" pp_value v
+
+let str_of = function
+  | VStr s -> s
+  | v -> Fmt.invalid_arg "Let_lang: expected string, got %a" pp_value v
+
+type t = {
+  grammar : value A.grammar;
+  value : value A.attr;
+  env : value A.attr;
+}
+
+let create ?strategy eng =
+  let grammar = A.create eng in
+  (* value and env are mutually recursive (the paper's mutually recursive
+     method implementations); tie the knot with forward references *)
+  let value_ref = ref None and env_ref = ref None in
+  let eval_value n = A.eval (Option.get !value_ref) n in
+  let eval_env n = A.eval (Option.get !env_ref) n in
+  let env =
+    A.attribute ?strategy grammar ~name:"env" (fun n ->
+        match A.parent n with
+        | None -> VEnv [] (* detached subtree or root context *)
+        | Some p -> (
+          match (A.prod p, A.index_in_parent n) with
+          | "root", _ -> VEnv []
+          | "plus", _ -> eval_env p
+          | "let", Some 0 -> eval_env p
+          | "let", Some 1 ->
+            let id = str_of (A.terminal p "id") in
+            let bound = int_of (eval_value (A.child p 0)) in
+            VEnv ((id, bound) :: env_of (eval_env p))
+          | prod, _ ->
+            Fmt.invalid_arg "Let_lang.env: unexpected parent production %s" prod))
+  in
+  let value =
+    A.attribute ?strategy grammar ~name:"value" (fun n ->
+        match A.prod n with
+        | "root" -> eval_value (A.child n 0)
+        | "plus" ->
+          VInt
+            (int_of (eval_value (A.child n 0))
+            + int_of (eval_value (A.child n 1)))
+        | "let" -> eval_value (A.child n 1)
+        | "id" -> (
+          let id = str_of (A.terminal n "id") in
+          match List.assoc_opt id (env_of (eval_env n)) with
+          | Some v -> VInt v
+          | None -> raise (Unbound_identifier id))
+        | "int" -> A.terminal n "n"
+        | prod ->
+          Fmt.invalid_arg "Let_lang.value: unexpected production %s" prod)
+  in
+  value_ref := Some value;
+  env_ref := Some env;
+  { grammar; value; env }
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let root t e = A.node t.grammar ~prod:"root" [ e ]
+let plus t a b = A.node t.grammar ~prod:"plus" [ a; b ]
+
+let let_ t id bound body =
+  A.node t.grammar ~prod:"let" ~terminals:[ ("id", VStr id) ] [ bound; body ]
+
+let id t name = A.node t.grammar ~prod:"id" ~terminals:[ ("id", VStr name) ] []
+let int t n = A.node t.grammar ~prod:"int" ~terminals:[ ("n", VInt n) ] []
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Incremental evaluation via the maintained attributes. *)
+let value_of t n = int_of (A.eval t.value n)
+
+(** From-scratch reference interpreter over the same mutable tree — the
+    conventional execution this must always agree with (Theorem 5.1). *)
+let exhaustive_value n =
+  let rec go env n =
+    match A.prod n with
+    | "root" -> go env (A.child n 0)
+    | "plus" -> go env (A.child n 0) + go env (A.child n 1)
+    | "let" ->
+      let id = str_of (A.terminal n "id") in
+      let bound = go env (A.child n 0) in
+      go ((id, bound) :: env) (A.child n 1)
+    | "id" -> (
+      let id = str_of (A.terminal n "id") in
+      match List.assoc_opt id env with
+      | Some v -> v
+      | None -> raise (Unbound_identifier id))
+    | "int" -> int_of (A.terminal n "n")
+    | prod -> Fmt.invalid_arg "Let_lang.exhaustive: %s" prod
+  in
+  go [] n
+
+(* ------------------------------------------------------------------ *)
+(* Tree edits (mutator operations)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let set_int n v = A.set_terminal n "n" (VInt v)
+let rename_let n id = A.set_terminal n "id" (VStr id)
+let rename_id n id = A.set_terminal n "id" (VStr id)

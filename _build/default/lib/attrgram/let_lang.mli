@@ -1,0 +1,66 @@
+(** The paper's attribute-grammar example (§7.1, Algorithms 6–9): a
+    let-expression language with a synthesized [value] attribute and an
+    inherited [env] attribute.
+
+    {v
+    ROOT ::= EXP              ROOT.value = EXP.value
+                              EXP.env    = EmptyEnv()
+    EXP0 ::= EXP1 + EXP2      EXP0.value = EXP1.value + EXP2.value
+                              EXPi.env   = EXP0.env
+    EXP0 ::= let ID = EXP1 in EXP2 ni
+                              EXP0.value = EXP2.value
+                              EXP1.env   = EXP0.env
+                              EXP2.env   = UpdateEnv(EXP0.env, ID, EXP1.value)
+    EXP  ::= ID               EXP.value  = LookupEnv(EXP.env, ID)
+    EXP  ::= INT              EXP.value  = INT
+    v} *)
+
+type value =
+  | VInt of int
+  | VStr of string  (** identifier terminals *)
+  | VEnv of (string * int) list  (** the inherited environment *)
+
+val pp_value : Format.formatter -> value -> unit
+
+exception Unbound_identifier of string
+
+val int_of : value -> int
+val env_of : value -> (string * int) list
+val str_of : value -> string
+
+type t
+(** The instantiated grammar: its [value] and [env] attributes. *)
+
+val create : ?strategy:Alphonse.Engine.strategy -> Alphonse.Engine.t -> t
+
+(** {1 Constructors} *)
+
+val root : t -> value Ag.node -> value Ag.node
+val plus : t -> value Ag.node -> value Ag.node -> value Ag.node
+
+val let_ : t -> string -> value Ag.node -> value Ag.node -> value Ag.node
+(** [let_ t id bound body] is [let id = bound in body ni]. *)
+
+val id : t -> string -> value Ag.node
+val int : t -> int -> value Ag.node
+
+(** {1 Evaluation} *)
+
+val value_of : t -> value Ag.node -> int
+(** Incremental evaluation via the maintained attributes.
+    @raise Unbound_identifier on a free identifier. *)
+
+val exhaustive_value : value Ag.node -> int
+(** From-scratch reference interpreter over the same mutable tree — the
+    conventional execution this must always agree with (Theorem 5.1). *)
+
+(** {1 Edits} *)
+
+val set_int : value Ag.node -> int -> unit
+(** Change an [int] leaf's terminal. *)
+
+val rename_let : value Ag.node -> string -> unit
+(** Rename a [let] binder. *)
+
+val rename_id : value Ag.node -> string -> unit
+(** Rename an [id] occurrence. *)

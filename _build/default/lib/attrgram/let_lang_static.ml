@@ -1,0 +1,155 @@
+(** The let-expression grammar of §7.1 on the {!Static_ag} baseline
+    evaluator, with every dependency declared statically — the way a
+    production-based system (§10) would encode it. Reuses
+    {!Let_lang.value} so the two engines can be differentially tested
+    against each other and against the exhaustive interpreter.
+
+    Note what {e cannot} be written here: a [CellExp]-style production
+    whose value reads an arbitrary other node — the dependency forms are
+    [Self]/[Child]/[Parent]/[Term] only. That expressiveness gap is the
+    §10 comparison: Alphonse procedures "are allowed to look at global
+    information and navigate arbitrary data structures". *)
+
+module S = Static_ag
+open Let_lang
+
+type t = { g : value S.grammar }
+
+let create () =
+  let eval_int ctx dep = int_of (ctx.S.get dep) in
+  let eval_env ctx dep = env_of (ctx.S.get dep) in
+  let prods =
+    [
+      {
+        S.pname = "root";
+        arity = 1;
+        syn =
+          [
+            {
+              S.target = "value";
+              deps = [ S.Child (0, "value") ];
+              eval = (fun ctx -> ctx.S.get (S.Child (0, "value")));
+            };
+          ];
+        inh =
+          [
+            ( 0,
+              { S.target = "env"; deps = []; eval = (fun _ -> VEnv []) } );
+          ];
+      };
+      {
+        S.pname = "plus";
+        arity = 2;
+        syn =
+          [
+            {
+              S.target = "value";
+              deps = [ S.Child (0, "value"); S.Child (1, "value") ];
+              eval =
+                (fun ctx ->
+                  VInt
+                    (eval_int ctx (S.Child (0, "value"))
+                    + eval_int ctx (S.Child (1, "value"))));
+            };
+          ];
+        inh =
+          [
+            ( 0,
+              {
+                S.target = "env";
+                deps = [ S.Self "env" ];
+                eval = (fun ctx -> ctx.S.get (S.Self "env"));
+              } );
+            ( 1,
+              {
+                S.target = "env";
+                deps = [ S.Self "env" ];
+                eval = (fun ctx -> ctx.S.get (S.Self "env"));
+              } );
+          ];
+      };
+      {
+        S.pname = "let";
+        arity = 2;
+        syn =
+          [
+            {
+              S.target = "value";
+              deps = [ S.Child (1, "value") ];
+              eval = (fun ctx -> ctx.S.get (S.Child (1, "value")));
+            };
+          ];
+        inh =
+          [
+            ( 0,
+              {
+                S.target = "env";
+                deps = [ S.Self "env" ];
+                eval = (fun ctx -> ctx.S.get (S.Self "env"));
+              } );
+            ( 1,
+              {
+                S.target = "env";
+                deps = [ S.Self "env"; S.Child (0, "value"); S.Term "id" ];
+                eval =
+                  (fun ctx ->
+                    let id = str_of (ctx.S.get (S.Term "id")) in
+                    let bound = eval_int ctx (S.Child (0, "value")) in
+                    VEnv ((id, bound) :: eval_env ctx (S.Self "env")));
+              } );
+          ];
+      };
+      {
+        S.pname = "id";
+        arity = 0;
+        syn =
+          [
+            {
+              S.target = "value";
+              deps = [ S.Self "env"; S.Term "id" ];
+              eval =
+                (fun ctx ->
+                  let id = str_of (ctx.S.get (S.Term "id")) in
+                  match List.assoc_opt id (eval_env ctx (S.Self "env")) with
+                  | Some v -> VInt v
+                  | None -> raise (Unbound_identifier id));
+            };
+          ];
+        inh = [];
+      };
+      {
+        S.pname = "int";
+        arity = 0;
+        syn =
+          [
+            {
+              S.target = "value";
+              deps = [ S.Term "n" ];
+              eval = (fun ctx -> ctx.S.get (S.Term "n"));
+            };
+          ];
+        inh = [];
+      };
+    ]
+  in
+  { g = S.grammar prods }
+
+let grammar t = t.g
+
+(* constructors mirroring Let_lang *)
+let root t e = S.node t.g ~prod:"root" [ e ]
+let plus t a b = S.node t.g ~prod:"plus" [ a; b ]
+
+let let_ t id bound body =
+  S.node t.g ~prod:"let" ~terminals:[ ("id", VStr id) ] [ bound; body ]
+
+let id t name = S.node t.g ~prod:"id" ~terminals:[ ("id", VStr name) ] []
+let int t n = S.node t.g ~prod:"int" ~terminals:[ ("n", VInt n) ] []
+
+let value_of t n = int_of (S.get t.g n "value")
+
+let set_int t n v = S.set_terminal t.g n "n" (VInt v)
+let rename_let t n id = S.set_terminal t.g n "id" (VStr id)
+let set_child t n slot fresh = S.set_child t.g n slot fresh
+let evals t = S.evals t.g
+let reset_evals t = S.reset_evals t.g

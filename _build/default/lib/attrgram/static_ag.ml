@@ -1,0 +1,339 @@
+(** A grammar-based incremental attribute evaluator in the style of the
+    systems the paper compares against in §10 (the Synthesizer Generator
+    and other production-based systems): every equation {e statically
+    declares} its dependencies, which must be {e local} — a node's
+    attribute may depend only on attributes of the node itself, its
+    children, its parent, and its own terminals.
+
+    Static declarations buy cheap bookkeeping: no call stack, no
+    dependency discovery, no per-execution edge churn — change
+    propagation walks the statically known dependents of each changed
+    attribute occurrence. The price is exactly what §10 says: "grammar
+    based systems suffer from the local communication and aggregation
+    problems" — an equation cannot follow a pointer across the tree (the
+    spreadsheet's [CellExp] is inexpressible), and the declared
+    dependency set must cover every read (checked at evaluation time
+    here: reading an undeclared dependency raises).
+
+    Used as the E2 baseline and as a §10 comparison point for the
+    Alphonse encoding in {!Ag}. *)
+
+type dep =
+  | Self of string  (** another attribute of this node *)
+  | Child of int * string  (** attribute of child [i] *)
+  | Parent of string  (** attribute of the parent node *)
+  | Term of string  (** a terminal of this node *)
+
+(** Access to declared dependencies during evaluation. Reading anything
+    not declared raises [Undeclared_dependency]. *)
+type 'v ctx = {
+  get : dep -> 'v;
+      (** value of a declared dependency.
+          @raise Undeclared_dependency if not declared
+          @raise Missing_value if the dependency is not available (e.g.
+          [Parent _] at the root) *)
+  has : dep -> bool;  (** is the dependency available here? *)
+}
+
+exception Undeclared_dependency of string
+
+exception Missing_value of string
+
+type 'v equation = {
+  target : string;  (** the attribute being defined *)
+  deps : dep list;
+  eval : 'v ctx -> 'v;
+}
+
+type 'v production = {
+  pname : string;
+  arity : int;
+  syn : 'v equation list;  (** equations for this node's own attributes *)
+  inh : (int * 'v equation) list;
+      (** [(slot, eq)]: equation defining attribute [eq.target] of the
+          child in [slot]; its [deps] are relative to {e this} node *)
+}
+
+type 'v grammar = {
+  prods : (string, 'v production) Hashtbl.t;
+  value_equal : 'v -> 'v -> bool;
+  mutable next_id : int;
+  (* instrumentation, comparable to Engine.stats *)
+  mutable evals : int;
+}
+
+let grammar ?(value_equal = ( = )) prods =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem table p.pname then
+        invalid_arg ("Static_ag: duplicate production " ^ p.pname);
+      Hashtbl.replace table p.pname p)
+    prods;
+  { prods = table; value_equal; next_id = 0; evals = 0 }
+
+let evals g = g.evals
+let reset_evals g = g.evals <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Trees                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type 'v node = {
+  id : int;
+  prod : string;
+  mutable children : 'v node array;
+  mutable parent : ('v node * int) option;  (** parent and our slot *)
+  terminals : (string, 'v) Hashtbl.t;
+  attrs : (string, 'v) Hashtbl.t;  (** current attribute values *)
+}
+
+let production g n =
+  match Hashtbl.find_opt g.prods n.prod with
+  | Some p -> p
+  | None -> invalid_arg ("Static_ag: unknown production " ^ n.prod)
+
+let node g ~prod ?(terminals = []) children =
+  let p =
+    match Hashtbl.find_opt g.prods prod with
+    | Some p -> p
+    | None -> invalid_arg ("Static_ag: unknown production " ^ prod)
+  in
+  if List.length children <> p.arity then
+    invalid_arg
+      (Fmt.str "Static_ag: %s expects %d children, got %d" prod p.arity
+         (List.length children));
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  let n =
+    {
+      id;
+      prod;
+      children = Array.of_list children;
+      parent = None;
+      terminals = Hashtbl.create 4;
+      attrs = Hashtbl.create 4;
+    }
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace n.terminals k v) terminals;
+  Array.iteri (fun i c -> c.parent <- Some (n, i)) n.children;
+  n
+
+let prod n = n.prod
+let children n = Array.to_list n.children
+let parent n = Option.map fst n.parent
+
+let terminal n k =
+  match Hashtbl.find_opt n.terminals k with
+  | Some v -> v
+  | None -> raise (Missing_value ("terminal " ^ k))
+
+(* ------------------------------------------------------------------ *)
+(* Where is an attribute of a node defined?                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthesized attribute is defined by the node's own production; an
+   inherited one by the parent's. Returns the defining node, the
+   equation, and the node the equation's deps are relative to. *)
+let defining g n attr =
+  let own = production g n in
+  match List.find_opt (fun e -> e.target = attr) own.syn with
+  | Some eq -> Some (n, eq)
+  | None -> (
+    match n.parent with
+    | None -> None
+    | Some (p, slot) ->
+      let pp = production g p in
+      List.find_map
+        (fun (s, eq) ->
+          if s = slot && eq.target = attr then Some (p, eq) else None)
+        pp.inh)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Cyclic of string
+
+(* Resolve a dep of an equation whose deps are relative to [home]. *)
+let resolve home dep =
+  match dep with
+  | Self _ | Term _ -> Some home
+  | Child (i, _) ->
+    if i < Array.length home.children then Some home.children.(i) else None
+  | Parent _ -> Option.map fst home.parent
+
+let dep_attr = function
+  | Self a | Child (_, a) | Parent a -> Some a
+  | Term _ -> None
+
+(* Demand-compute an attribute occurrence, memoized in n.attrs, with an
+   on-stack set for static-circularity detection. *)
+let rec ensure g stack n attr =
+  match Hashtbl.find_opt n.attrs attr with
+  | Some v -> v
+  | None ->
+    if List.exists (fun (m, a) -> m == n && a = attr) stack then
+      raise (Cyclic attr);
+    let v = compute g ((n, attr) :: stack) n attr in
+    Hashtbl.replace n.attrs attr v;
+    v
+
+and compute g stack n attr =
+  match defining g n attr with
+  | None -> raise (Missing_value (Fmt.str "%s of %s#%d" attr n.prod n.id))
+  | Some (home, eq) ->
+    g.evals <- g.evals + 1;
+    let ctx =
+      {
+        get =
+          (fun dep ->
+            if not (List.mem dep eq.deps) then
+              raise
+                (Undeclared_dependency
+                   (Fmt.str "%s reads an undeclared dependency" eq.target));
+            match (resolve home dep, dep) with
+            | None, _ -> raise (Missing_value eq.target)
+            | Some m, Term t -> terminal m t
+            | Some m, dep -> (
+              match dep_attr dep with
+              | Some a -> ensure g stack m a
+              | None -> assert false));
+        has =
+          (fun dep ->
+            match resolve home dep with
+            | None -> false
+            | Some m -> (
+              match dep with
+              | Term t -> Hashtbl.mem m.terminals t
+              | _ -> true));
+      }
+    in
+    eq.eval ctx
+
+let get g n attr = ensure g [] n attr
+
+(* ------------------------------------------------------------------ *)
+(* Change propagation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The statically known dependents of the attribute occurrence (n, a):
+   occurrences whose defining equation mentions (n, a). *)
+let dependents g n a =
+  let acc = ref [] in
+  let own = production g n in
+  (* this node's synthesized equations reading Self a *)
+  List.iter
+    (fun eq -> if List.mem (Self a) eq.deps then acc := (n, eq.target) :: !acc)
+    own.syn;
+  (* inherited equations this node defines for its children, reading
+     Self a *)
+  List.iter
+    (fun (slot, eq) ->
+      if List.mem (Self a) eq.deps && slot < Array.length n.children then
+        acc := (n.children.(slot), eq.target) :: !acc)
+    own.inh;
+  (* children's equations reading Parent a *)
+  Array.iter
+    (fun c ->
+      let cp = production g c in
+      List.iter
+        (fun eq ->
+          if List.mem (Parent a) eq.deps then acc := (c, eq.target) :: !acc)
+        cp.syn;
+      List.iter
+        (fun (slot, eq) ->
+          if List.mem (Parent a) eq.deps && slot < Array.length c.children
+          then acc := (c.children.(slot), eq.target) :: !acc)
+        cp.inh)
+    n.children;
+  (* the parent's equations reading Child (our slot, a) *)
+  (match n.parent with
+  | None -> ()
+  | Some (p, slot) ->
+    let pp = production g p in
+    List.iter
+      (fun eq ->
+        if List.mem (Child (slot, a)) eq.deps then
+          acc := (p, eq.target) :: !acc)
+      pp.syn;
+    List.iter
+      (fun (s, eq) ->
+        if List.mem (Child (slot, a)) eq.deps && s < Array.length p.children
+        then acc := (p.children.(s), eq.target) :: !acc)
+      pp.inh);
+  !acc
+
+(* dependents of a terminal of n *)
+let term_dependents g n t =
+  let acc = ref [] in
+  let own = production g n in
+  List.iter
+    (fun eq -> if List.mem (Term t) eq.deps then acc := (n, eq.target) :: !acc)
+    own.syn;
+  List.iter
+    (fun (slot, eq) ->
+      if List.mem (Term t) eq.deps && slot < Array.length n.children then
+        acc := (n.children.(slot), eq.target) :: !acc)
+    own.inh;
+  !acc
+
+(* FIFO change propagation over attribute occurrences: recompute, compare,
+   push dependents on change. Occurrences never evaluated (absent from
+   the memo tables) are skipped — they will be computed on demand. *)
+let propagate g work =
+  let q = Queue.create () in
+  List.iter (fun occ -> Queue.add occ q) work;
+  while not (Queue.is_empty q) do
+    let n, attr = Queue.pop q in
+    match Hashtbl.find_opt n.attrs attr with
+    | None -> () (* never demanded: nothing cached to maintain *)
+    | Some old ->
+      Hashtbl.remove n.attrs attr;
+      let fresh = ensure g [] n attr in
+      if not (g.value_equal old fresh) then
+        List.iter (fun occ -> Queue.add occ q) (dependents g n attr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Edits                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_terminal g n t v =
+  let old = Hashtbl.find_opt n.terminals t in
+  Hashtbl.replace n.terminals t v;
+  match old with
+  | Some o when g.value_equal o v -> ()
+  | _ -> propagate g (term_dependents g n t)
+
+(* All (node, attr) occurrences cached inside a subtree. *)
+let cached_occurrences sub =
+  let acc = ref [] in
+  let rec go n =
+    Hashtbl.iter (fun a _ -> acc := (n, a) :: !acc) n.attrs;
+    Array.iter go n.children
+  in
+  go sub;
+  !acc
+
+let set_child g n slot fresh =
+  if slot >= Array.length n.children then
+    invalid_arg "Static_ag.set_child: bad slot";
+  let old = n.children.(slot) in
+  if old != fresh then begin
+    old.parent <- None;
+    fresh.parent <- Some (n, slot);
+    n.children.(slot) <- fresh;
+    (* the old subtree's inherited context is gone: drop its cache; the
+       new subtree's cached attributes were computed in another context
+       (or none), so drop and let demand recompute them *)
+    List.iter (fun (m, a) -> Hashtbl.remove m.attrs a) (cached_occurrences old);
+    List.iter
+      (fun (m, a) -> Hashtbl.remove m.attrs a)
+      (cached_occurrences fresh);
+    (* every attribute of n that reads this child slot must re-propagate;
+       conservatively, re-propagate all of n's cached attributes plus the
+       inherited attributes n defines for the new child *)
+    let work = Hashtbl.fold (fun a _ acc -> (n, a) :: acc) n.attrs [] in
+    propagate g work
+  end

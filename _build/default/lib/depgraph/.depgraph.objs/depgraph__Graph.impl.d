@@ -1,0 +1,1 @@
+lib/depgraph/graph.ml: Hashtbl List Order_list

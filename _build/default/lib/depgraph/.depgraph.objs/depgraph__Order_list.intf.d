@@ -1,0 +1,1 @@
+lib/depgraph/order_list.mli:

@@ -1,0 +1,1 @@
+lib/depgraph/pairing_heap.ml: List

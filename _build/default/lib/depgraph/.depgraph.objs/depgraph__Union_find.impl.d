@@ -1,0 +1,1 @@
+lib/depgraph/union_find.ml:

@@ -1,0 +1,265 @@
+type 'a node = {
+  id : int;
+  payload : 'a;
+  owner : 'a t;
+  mutable order : Order_list.item;
+  mutable alive : bool;
+  (* adjacency: heads of the intrusive doubly-linked edge lists *)
+  mutable succ_head : 'a edge option;
+  mutable pred_head : 'a edge option;
+  mutable succ_count : int;
+  mutable pred_count : int;
+  (* execution stamp of the consumer that most recently recorded an edge
+     from this node; suppresses duplicate edges within one execution *)
+  mutable last_stamp : int;
+}
+
+and 'a edge = {
+  src : 'a node;
+  dst : 'a node;
+  (* position in src's successor list *)
+  mutable s_prev : 'a edge option;
+  mutable s_next : 'a edge option;
+  (* position in dst's predecessor list *)
+  mutable p_prev : 'a edge option;
+  mutable p_next : 'a edge option;
+}
+
+and 'a t = {
+  order_list : Order_list.t;
+  mutable next_id : int;
+  mutable live_nodes : int;
+  mutable live_edges : int;
+  mutable total_nodes : int;
+  mutable total_edges : int;
+  mutable removed_edges : int;
+}
+
+let create () =
+  {
+    order_list = Order_list.create ();
+    next_id = 0;
+    live_nodes = 0;
+    live_edges = 0;
+    total_nodes = 0;
+    total_edges = 0;
+    removed_edges = 0;
+  }
+
+let check_alive who n =
+  if not n.alive then invalid_arg (who ^ ": removed dependency graph node")
+
+let mk_node t order =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.live_nodes <- t.live_nodes + 1;
+  t.total_nodes <- t.total_nodes + 1;
+  fun payload ->
+    {
+      id;
+      payload;
+      owner = t;
+      order;
+      alive = true;
+      succ_head = None;
+      pred_head = None;
+      succ_count = 0;
+      pred_count = 0;
+      last_stamp = -1;
+    }
+
+let add_node t ~order_after payload =
+  let anchor =
+    match order_after with
+    | Some n ->
+      check_alive "Graph.add_node" n;
+      n.order
+    | None -> Order_list.last t.order_list
+  in
+  mk_node t (Order_list.insert_after anchor) payload
+
+let add_node_before t ~order_before payload =
+  check_alive "Graph.add_node_before" order_before;
+  mk_node t (Order_list.insert_before order_before.order) payload
+
+let payload n = n.payload
+let id n = n.id
+
+let order_lt u v = Order_list.lt u.order v.order
+
+let reorder_before u v =
+  check_alive "Graph.reorder_before" u;
+  check_alive "Graph.reorder_before" v;
+  let fresh = Order_list.insert_before v.order in
+  Order_list.delete u.order;
+  u.order <- fresh
+
+(* Unlink an edge from both adjacency lists. O(1). *)
+let unlink_edge t e =
+  (match e.s_prev with
+  | Some p -> p.s_next <- e.s_next
+  | None -> e.src.succ_head <- e.s_next);
+  (match e.s_next with Some nx -> nx.s_prev <- e.s_prev | None -> ());
+  (match e.p_prev with
+  | Some p -> p.p_next <- e.p_next
+  | None -> e.dst.pred_head <- e.p_next);
+  (match e.p_next with Some nx -> nx.p_prev <- e.p_prev | None -> ());
+  e.src.succ_count <- e.src.succ_count - 1;
+  e.dst.pred_count <- e.dst.pred_count - 1;
+  t.live_edges <- t.live_edges - 1;
+  t.removed_edges <- t.removed_edges + 1
+
+let add_edge ~stamp ~src ~dst =
+  check_alive "Graph.add_edge" src;
+  check_alive "Graph.add_edge" dst;
+  if src.last_stamp <> stamp then begin
+    src.last_stamp <- stamp;
+    let t = src.owner in
+    let e =
+      { src; dst; s_prev = None; s_next = src.succ_head; p_prev = None;
+        p_next = dst.pred_head }
+    in
+    (match src.succ_head with Some h -> h.s_prev <- Some e | None -> ());
+    src.succ_head <- Some e;
+    (match dst.pred_head with Some h -> h.p_prev <- Some e | None -> ());
+    dst.pred_head <- Some e;
+    src.succ_count <- src.succ_count + 1;
+    dst.pred_count <- dst.pred_count + 1;
+    t.live_edges <- t.live_edges + 1;
+    t.total_edges <- t.total_edges + 1
+  end
+
+let clear_preds t n =
+  check_alive "Graph.clear_preds" n;
+  let rec go = function
+    | None -> ()
+    | Some e ->
+      let next = e.p_next in
+      unlink_edge t e;
+      go next
+  in
+  go n.pred_head;
+  n.pred_head <- None;
+  assert (n.pred_count = 0)
+
+let clear_succs t n =
+  let rec go = function
+    | None -> ()
+    | Some e ->
+      let next = e.s_next in
+      unlink_edge t e;
+      go next
+  in
+  go n.succ_head;
+  n.succ_head <- None
+
+let remove_node t n =
+  check_alive "Graph.remove_node" n;
+  clear_preds t n;
+  clear_succs t n;
+  Order_list.delete n.order;
+  n.alive <- false;
+  t.live_nodes <- t.live_nodes - 1
+
+let iter_succ f n =
+  check_alive "Graph.iter_succ" n;
+  let rec go = function
+    | None -> ()
+    | Some e ->
+      let next = e.s_next in
+      f e.dst;
+      go next
+  in
+  go n.succ_head
+
+let iter_pred f n =
+  check_alive "Graph.iter_pred" n;
+  let rec go = function
+    | None -> ()
+    | Some e ->
+      let next = e.p_next in
+      f e.src;
+      go next
+  in
+  go n.pred_head
+
+let succ_count n = n.succ_count
+let pred_count n = n.pred_count
+
+(* Restore topological order after discovering the edge src → dst with
+   order(dst) < order(src) — the Pearce–Kelly algorithm ("A dynamic
+   topological sort algorithm for directed acyclic graphs", JEA 2006),
+   the kind of machinery the paper's §2 cites for maintaining evaluation
+   order "in the presence of graph changes". Provided every prior edge
+   respected the order (the engine calls this on each violation, so the
+   invariant is maintained from an empty graph), the affected region is
+   the forward cone of [dst] below [src]'s priority plus the backward
+   cone of [src] above [dst]'s priority; permuting the region's existing
+   priority slots — backward cone first — restores the invariant. A
+   cycle through the new edge is detected when the forward walk reaches
+   [src]; the order is then left untouched (the evaluator is correct
+   under any order; order only reduces redundant re-execution). *)
+let restore_topological_order t ~src ~dst =
+  ignore t;
+  if not (order_lt dst src) then `Already_ordered
+  else begin
+    let exception Cycle_found in
+    let fwd_tbl : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let fwd = ref [] in
+    let rec walk_f n =
+      if n.id = src.id then raise Cycle_found;
+      if not (Hashtbl.mem fwd_tbl n.id) then begin
+        Hashtbl.replace fwd_tbl n.id ();
+        fwd := n :: !fwd;
+        iter_succ
+          (fun m -> if m.id = src.id || order_lt m src then walk_f m)
+          n
+      end
+    in
+    match walk_f dst with
+    | exception Cycle_found -> `Cycle
+    | () ->
+      let bwd_tbl : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let bwd = ref [] in
+      let rec walk_b n =
+        if
+          (not (Hashtbl.mem bwd_tbl n.id)) && not (Hashtbl.mem fwd_tbl n.id)
+        then begin
+          Hashtbl.replace bwd_tbl n.id ();
+          bwd := n :: !bwd;
+          iter_pred (fun m -> if order_lt dst m then walk_b m) n
+        end
+      in
+      walk_b src;
+      let by_order a b = Order_list.compare a.order b.order in
+      let region = List.sort by_order (!fwd @ !bwd) in
+      let desired = List.sort by_order !bwd @ List.sort by_order !fwd in
+      let slots = List.map (fun n -> n.order) region in
+      List.iter2 (fun slot n -> n.order <- slot) slots desired;
+      `Reordered (List.length region)
+  end
+
+
+type stats = {
+  live_nodes : int;
+  live_edges : int;
+  total_nodes : int;
+  total_edges : int;
+  removed_edges : int;
+  order_relabels : int;
+}
+
+let stats (t : _ t) =
+  {
+    live_nodes = t.live_nodes;
+    live_edges = t.live_edges;
+    total_nodes = t.total_nodes;
+    total_edges = t.total_edges;
+    removed_edges = t.removed_edges;
+    order_relabels = Order_list.relabel_count t.order_list;
+  }
+
+let validate t =
+  Order_list.validate t.order_list;
+  if t.live_nodes < 0 || t.live_edges < 0 then
+    failwith "Graph.validate: negative live counts"

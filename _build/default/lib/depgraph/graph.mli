@@ -1,0 +1,100 @@
+(** The dynamic dependency graph of paper §4.1.
+
+    Nodes represent incremental procedure instances and the abstract storage
+    locations they touch; an edge [u → v] records that the most recent
+    execution of the instance at [v] read or wrote the value at [u]. Each
+    node carries a client payload (the engine's bookkeeping record) and an
+    {!Order_list} item giving its approximate topological priority.
+
+    Edges are intrusive, doubly linked in both the source's successor list
+    and the destination's predecessor list, so that [clear_preds] — the
+    paper's [RemovePredEdges], run before every re-execution — costs O(1)
+    per edge (§9.2: "a doubly linked list of bidirectional edges … the O(1)
+    cost of removing each edge can be charged to the edge creation").
+
+    Duplicate suppression: within a single execution of a consumer, repeated
+    accesses to the same source create only one edge, deduplicated by an
+    execution stamp on the source node. *)
+
+type 'a t
+(** A dependency graph with payloads of type ['a]. *)
+
+type 'a node
+
+val create : unit -> 'a t
+
+(** {1 Nodes} *)
+
+val add_node : 'a t -> order_after:'a node option -> 'a -> 'a node
+(** [add_node t ~order_after:anchor payload] creates a node. Its priority is
+    inserted immediately after [anchor]'s, or at the very end of the order
+    when [anchor] is [None]. *)
+
+val add_node_before : 'a t -> order_before:'a node -> 'a -> 'a node
+(** Like {!add_node} but the new node's priority precedes [order_before]'s —
+    used for dependencies discovered during the consumer's execution, which
+    must drain before the consumer under quiescence propagation. *)
+
+val remove_node : 'a t -> 'a node -> unit
+(** Detaches every incident edge and retires the node's order item. The node
+    must not be used afterwards (checked: raises [Invalid_argument]). *)
+
+val payload : 'a node -> 'a
+val id : 'a node -> int
+
+val order_lt : 'a node -> 'a node -> bool
+(** Priority comparison: [order_lt u v] iff [u] drains before [v]. *)
+
+val restore_topological_order :
+  'a t ->
+  src:'a node ->
+  dst:'a node ->
+  [ `Already_ordered | `Reordered of int | `Cycle ]
+(** Pearce–Kelly dynamic topological-order restoration for a just-added
+    edge [src → dst]: when [dst] currently drains before [src], permute
+    the priorities of the affected region so every dependency again
+    precedes its dependents. Returns how many nodes were moved, or
+    [`Cycle] (order untouched) when the edge closes a cycle. This is the
+    "compute this order in the presence of graph changes" machinery the
+    paper's §2 cites; the evaluator is correct under any order, so this
+    only reduces redundant re-execution. *)
+
+val reorder_before : 'a node -> 'a node -> unit
+(** [reorder_before u v] moves [u]'s priority to just before [v]'s. Used
+    when a new edge [u → v] is discovered with [u] currently after [v]
+    (out-of-order edge), restoring approximate topological order. *)
+
+(** {1 Edges} *)
+
+val add_edge : stamp:int -> src:'a node -> dst:'a node -> unit
+(** Records dependency [src → dst]. [stamp] identifies the current
+    execution of [dst]; a second call with the same [(src, stamp)] is a
+    no-op (duplicate access within one execution). *)
+
+val clear_preds : 'a t -> 'a node -> unit
+(** Removes every incoming edge of the node ([RemovePredEdges]). *)
+
+val iter_succ : ('a node -> unit) -> 'a node -> unit
+(** Applies a function to every successor (dependent) of the node. The
+    callback must not add or remove edges of this node. *)
+
+val iter_pred : ('a node -> unit) -> 'a node -> unit
+
+val succ_count : 'a node -> int
+val pred_count : 'a node -> int
+
+(** {1 Statistics (benches E5/E6)} *)
+
+type stats = {
+  live_nodes : int;
+  live_edges : int;
+  total_nodes : int;  (** nodes ever created *)
+  total_edges : int;  (** edges ever created, after deduplication *)
+  removed_edges : int;
+  order_relabels : int;  (** items moved by order-maintenance relabeling *)
+}
+
+val stats : 'a t -> stats
+
+val validate : 'a t -> unit
+(** Internal invariant check for tests: link symmetry, counts, order. *)

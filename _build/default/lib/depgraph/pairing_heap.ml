@@ -1,0 +1,71 @@
+(* Classic pairing heap (Fredman et al. 1986) with an imperative wrapper so
+   that melding mutates the destination in place, which is what the
+   union-find-driven partition merging of §6.3 needs. *)
+
+type 'a tree = Node of 'a * 'a tree list
+
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable root : 'a tree option;
+  mutable size : int;
+}
+
+let create ~leq = { leq; root = None; size = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let merge_trees leq a b =
+  match (a, b) with
+  | Node (xa, ca), Node (xb, cb) ->
+    if leq xa xb then Node (xa, b :: ca) else Node (xb, a :: cb)
+
+let insert t x =
+  let n = Node (x, []) in
+  (match t.root with
+  | None -> t.root <- Some n
+  | Some r -> t.root <- Some (merge_trees t.leq r n));
+  t.size <- t.size + 1
+
+let peek_min t =
+  match t.root with None -> None | Some (Node (x, _)) -> Some x
+
+(* Two-pass pairing: merge children left to right in pairs, then fold the
+   results right to left. *)
+let rec merge_pairs leq = function
+  | [] -> None
+  | [ a ] -> Some a
+  | a :: b :: rest -> (
+    let ab = merge_trees leq a b in
+    match merge_pairs leq rest with
+    | None -> Some ab
+    | Some r -> Some (merge_trees leq ab r))
+
+let pop_min t =
+  match t.root with
+  | None -> None
+  | Some (Node (x, children)) ->
+    t.root <- merge_pairs t.leq children;
+    t.size <- t.size - 1;
+    Some x
+
+let meld dst src =
+  (match (dst.root, src.root) with
+  | _, None -> ()
+  | None, r -> dst.root <- r
+  | Some a, Some b -> dst.root <- Some (merge_trees dst.leq a b));
+  dst.size <- dst.size + src.size;
+  src.root <- None;
+  src.size <- 0
+
+let clear t =
+  t.root <- None;
+  t.size <- 0
+
+let to_list t =
+  let rec go acc = function
+    | [] -> acc
+    | Node (x, c) :: rest -> go (x :: acc) (List.rev_append c rest)
+  in
+  match t.root with None -> [] | Some r -> go [] [ r ]

@@ -1,0 +1,39 @@
+(** Meldable priority queue (pairing heap).
+
+    Used for the per-partition {e inconsistent sets} of the quiescence
+    propagation evaluator (paper §4.5): nodes are drained in approximately
+    topological order, and when the dynamic partitioning of §6.3 unions two
+    dependency-graph partitions their inconsistent sets are melded in O(1).
+
+    Elements are compared with the [leq] function supplied at creation.
+    [insert] is O(1), [meld] is O(1), [pop_min] is amortized O(log n). The
+    heap does not deduplicate; callers that need set semantics (the engine
+    does) keep an [in_set] flag on elements and skip stale pops. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] is an empty heap ordered by [leq] (non-strict). *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of elements currently in the heap (counting duplicates). O(1). *)
+
+val insert : 'a t -> 'a -> unit
+
+val pop_min : 'a t -> 'a option
+(** Removes and returns a minimal element, or [None] if empty. *)
+
+val peek_min : 'a t -> 'a option
+
+val meld : 'a t -> 'a t -> unit
+(** [meld dst src] moves all elements of [src] into [dst], leaving [src]
+    empty. Both heaps must have been created with the same [leq] (checked
+    only by physical equality of the closures; violating this is a
+    programming error). O(1). *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; for tests. *)

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Buffer Fmt Hashtbl List Option Typecheck Value

@@ -1,0 +1,1 @@
+lib/lang/value.ml: Ast Fmt Hashtbl List

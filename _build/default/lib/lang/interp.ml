@@ -1,0 +1,304 @@
+(** Conventional (non-incremental) interpreter for Alphonse-L — the
+    execution model the paper calls "a traditional compiler" run of the
+    program (§3.6, §9.2). Pragmas are ignored: maintained and cached
+    procedures execute exhaustively on every call. Output and final state
+    are the observables that Theorem 5.1 requires the Alphonse execution
+    to reproduce. *)
+
+open Ast
+open Value
+
+exception Runtime_error of string * pos
+
+exception Return_value of value option
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Runtime_error (s, pos))) fmt
+
+type state = {
+  env : Typecheck.env;
+  globals : (string, value ref) Hashtbl.t;
+  out : Buffer.t;
+  mutable next_oid : int;
+  mutable steps : int;  (** statements + expressions evaluated *)
+  fuel : int option;  (** abort runaway programs (tests, fuzzing) *)
+}
+
+let tick st pos =
+  st.steps <- st.steps + 1;
+  match st.fuel with
+  | Some fuel when st.steps > fuel -> error pos "out of fuel (%d steps)" fuel
+  | _ -> ()
+
+(* Allocate the default contents of a declared type. Arrays materialize
+   here: a declaration of array type implicitly allocates a fixed table
+   (the paper's §7.2 cell array), recursively for nested dimensions. *)
+let rec init_value st = function
+  | Ast.Tarray (lo, hi, elem) ->
+    let elems = Array.init (hi - lo + 1) (fun _ -> ref (init_value st elem)) in
+    let a = { aid = st.next_oid; lo; hi; elems } in
+    st.next_oid <- st.next_oid + 1;
+    VArr a
+  | (Ast.Tint | Ast.Tbool | Ast.Ttext | Ast.Tobj _) as t -> default_of t
+
+let alloc st cls =
+  let ci =
+    match Typecheck.class_info st.env cls with
+    | Some ci -> ci
+    | None -> assert false (* checked *)
+  in
+  let fields = Hashtbl.create (List.length ci.ci_fields) in
+  List.iter
+    (fun (fname, fty) -> Hashtbl.replace fields fname (ref (init_value st fty)))
+    ci.ci_fields;
+  let o = { oid = st.next_oid; cls; fields } in
+  st.next_oid <- st.next_oid + 1;
+  o
+
+let obj_of pos = function
+  | VObj o -> o
+  | VNil -> error pos "NIL dereference"
+  | v -> error pos "not an object: %s" (to_string v)
+
+let int_of pos = function
+  | VInt n -> n
+  | v -> error pos "not an integer: %s" (to_string v)
+
+let bool_of pos = function
+  | VBool b -> b
+  | v -> error pos "not a boolean: %s" (to_string v)
+
+let text_of pos = function
+  | VText s -> s
+  | v -> error pos "not a text: %s" (to_string v)
+
+let arr_of pos = function
+  | VArr a -> a
+  | v -> error pos "not an array: %s" (to_string v)
+
+let elem_slot pos a idx =
+  if idx < a.lo || idx > a.hi then
+    error pos "index %d outside [%d..%d]" idx a.lo a.hi;
+  a.elems.(idx - a.lo)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type frame = (string, value ref) Hashtbl.t
+
+let rec eval st (fr : frame) e : value =
+  tick st e.pos;
+  match e.desc with
+  | Int n -> VInt n
+  | Bool b -> VBool b
+  | Text s -> VText s
+  | Nil -> VNil
+  | Var x -> (
+    match Hashtbl.find_opt fr x with
+    | Some r -> !r
+    | None -> (
+      match Hashtbl.find_opt st.globals x with
+      | Some r -> !r
+      | None -> error e.pos "unbound variable %s" x))
+  | Field (b, f) -> (
+    let o = obj_of b.pos (eval st fr b) in
+    match Hashtbl.find_opt o.fields f with
+    | Some r -> !r
+    | None -> error e.pos "object %s#%d has no field %s" o.cls o.oid f)
+  | Index (b, i) ->
+    let a = arr_of b.pos (eval st fr b) in
+    let idx = int_of i.pos (eval st fr i) in
+    !(elem_slot e.pos a idx)
+  | New cls -> VObj (alloc st cls)
+  | Unchecked inner -> eval st fr inner
+  | Unop (Neg, a) -> VInt (-int_of a.pos (eval st fr a))
+  | Unop (Not, a) -> VBool (not (bool_of a.pos (eval st fr a)))
+  | Binop (And, a, b) ->
+    if bool_of a.pos (eval st fr a) then eval st fr b else VBool false
+  | Binop (Or, a, b) ->
+    if bool_of a.pos (eval st fr a) then VBool true else eval st fr b
+  | Binop (op, a, b) -> (
+    let va = eval st fr a in
+    let vb = eval st fr b in
+    match op with
+    | Add -> VInt (int_of a.pos va + int_of b.pos vb)
+    | Sub -> VInt (int_of a.pos va - int_of b.pos vb)
+    | Mul -> VInt (int_of a.pos va * int_of b.pos vb)
+    | Div ->
+      let d = int_of b.pos vb in
+      if d = 0 then error e.pos "division by zero";
+      VInt (int_of a.pos va / d)
+    | Mod ->
+      let d = int_of b.pos vb in
+      if d = 0 then error e.pos "modulo by zero";
+      VInt (int_of a.pos va mod d)
+    | Cat -> VText (text_of a.pos va ^ text_of b.pos vb)
+    | Eq -> VBool (equal va vb)
+    | Ne -> VBool (not (equal va vb))
+    | Lt -> VBool (int_of a.pos va < int_of b.pos vb)
+    | Le -> VBool (int_of a.pos va <= int_of b.pos vb)
+    | Gt -> VBool (int_of a.pos va > int_of b.pos vb)
+    | Ge -> VBool (int_of a.pos va >= int_of b.pos vb)
+    | And | Or -> assert false)
+  | Call (callee, args) -> (
+    match eval_call st fr e.pos callee args with
+    | Some v -> v
+    | None -> error e.pos "proper procedure call in expression position")
+
+and eval_call st fr pos callee args : value option =
+  match callee with
+  | Cproc "Print" ->
+    List.iter
+      (fun a -> Buffer.add_string st.out (to_string (eval st fr a)))
+      args;
+    None
+  | Cproc p -> (
+    match Hashtbl.find_opt st.env.procs p with
+    | None -> error pos "unknown procedure %s" p
+    | Some pd ->
+      let argv = List.map (eval st fr) args in
+      call_proc st pd argv)
+  | Cmethod (oe, mname) -> (
+    let recv = eval st fr oe in
+    let o = obj_of oe.pos recv in
+    match Typecheck.lookup_method st.env o.cls mname with
+    | None -> error pos "object %s has no method %s" o.cls mname
+    | Some mi -> (
+      match Hashtbl.find_opt st.env.procs mi.mi_impl with
+      | None -> error pos "method %s bound to unknown procedure" mname
+      | Some pd ->
+        let argv = List.map (eval st fr) args in
+        call_proc st pd (recv :: argv)))
+
+and call_proc st (pd : proc_decl) argv : value option =
+  let fr : frame = Hashtbl.create 8 in
+  (try List.iter2 (fun (n, _) v -> Hashtbl.replace fr n (ref v)) pd.params argv
+   with Invalid_argument _ ->
+     error pd.ppos "arity mismatch calling %s" pd.pname);
+  List.iter
+    (fun l ->
+      let v =
+        match l.linit with
+        | Some e -> eval st fr e
+        | None -> init_value st l.lty
+      in
+      Hashtbl.replace fr l.lname (ref v))
+    pd.locals;
+  try
+    exec_stmts st fr pd.body;
+    if pd.ret <> None then
+      error pd.ppos "procedure %s fell off the end without RETURN" pd.pname;
+    None
+  with Return_value v -> v
+
+and exec_stmts st fr stmts = List.iter (exec st fr) stmts
+
+and exec st fr s =
+  tick st s.spos;
+  match s.sdesc with
+  | Assign (d, e) -> (
+    let v = eval st fr e in
+    match d.desc with
+    | Var x -> (
+      match Hashtbl.find_opt fr x with
+      | Some r -> r := v
+      | None -> (
+        match Hashtbl.find_opt st.globals x with
+        | Some r -> r := v
+        | None -> error d.pos "unbound variable %s" x))
+    | Field (b, f) -> (
+      let o = obj_of b.pos (eval st fr b) in
+      match Hashtbl.find_opt o.fields f with
+      | Some r -> r := v
+      | None -> error d.pos "object %s#%d has no field %s" o.cls o.oid f)
+    | Index (b, i) ->
+      let a = arr_of b.pos (eval st fr b) in
+      let idx = int_of i.pos (eval st fr i) in
+      elem_slot d.pos a idx := v
+    | _ -> error d.pos "bad assignment target")
+  | Call_stmt e -> (
+    match e.desc with
+    | Call (callee, args) -> ignore (eval_call st fr e.pos callee args)
+    | _ -> error e.pos "expression is not a statement")
+  | If (branches, els) ->
+    let rec go = function
+      | [] -> exec_stmts st fr els
+      | (c, body) :: rest ->
+        if bool_of c.pos (eval st fr c) then exec_stmts st fr body else go rest
+    in
+    go branches
+  | While (c, body) ->
+    while bool_of c.pos (eval st fr c) do
+      exec_stmts st fr body
+    done
+  | Repeat (body, c) ->
+    let continue_ = ref true in
+    while !continue_ do
+      exec_stmts st fr body;
+      if bool_of c.pos (eval st fr c) then continue_ := false
+    done
+  | For (v, lo, hi, body) ->
+    let lo = int_of lo.pos (eval st fr lo) in
+    let hi = int_of hi.pos (eval st fr hi) in
+    let r = ref (VInt lo) in
+    let shadowed = Hashtbl.find_opt fr v in
+    Hashtbl.replace fr v r;
+    for i = lo to hi do
+      r := VInt i;
+      exec_stmts st fr body
+    done;
+    (match shadowed with
+    | Some old -> Hashtbl.replace fr v old
+    | None -> Hashtbl.remove fr v)
+  | Return e -> raise (Return_value (Option.map (eval st fr) e))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module execution                                              *)
+(* ------------------------------------------------------------------ *)
+
+let init_state ?fuel (env : Typecheck.env) =
+  let st =
+    { env; globals = Hashtbl.create 16; out = Buffer.create 256;
+      next_oid = 0; steps = 0; fuel }
+  in
+  let fr : frame = Hashtbl.create 1 in
+  List.iter
+    (fun (g : global_decl) ->
+      Hashtbl.replace st.globals g.gname (ref (init_value st g.gty)))
+    env.m.globals;
+  (* initializers run left to right with earlier globals visible *)
+  List.iter
+    (fun (g : global_decl) ->
+      match g.ginit with
+      | Some e -> Hashtbl.replace st.globals g.gname (ref (eval st fr e))
+      | None -> ())
+    env.m.globals;
+  st
+
+type outcome = {
+  output : string;
+  error : string option;
+  steps : int;
+}
+
+(** Run the module body under conventional execution. *)
+let run ?fuel (env : Typecheck.env) : outcome =
+  match init_state ?fuel env with
+  | exception Runtime_error (msg, p) ->
+    { output = ""; error = Some (Fmt.str "%a: %s" pp_pos p msg); steps = 0 }
+  | st -> (
+    let fr : frame = Hashtbl.create 8 in
+    match exec_stmts st fr env.m.main with
+    | () -> { output = Buffer.contents st.out; error = None; steps = st.steps }
+    | exception Runtime_error (msg, p) ->
+      {
+        output = Buffer.contents st.out;
+        error = Some (Fmt.str "%a: %s" pp_pos p msg);
+        steps = st.steps;
+      }
+    | exception Return_value _ ->
+      {
+        output = Buffer.contents st.out;
+        error = Some "RETURN outside a procedure";
+        steps = st.steps;
+      })

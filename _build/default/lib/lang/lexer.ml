@@ -1,0 +1,246 @@
+(** Hand-written lexer for Alphonse-L.
+
+    Comments [(* … *)] nest and are skipped — except the three Alphonse
+    pragma forms, which lex to tokens: [(*MAINTAINED [DEMAND|EAGER]*)],
+    [(*CACHED [DEMAND|EAGER] [LRU n | FIFO n]*)], and [(*UNCHECKED*)].
+    Keywords are upper-case, as in Modula-3. *)
+
+open Ast
+
+type token =
+  | INT of int
+  | TEXT of string
+  | IDENT of string  (** identifiers, including type names *)
+  | KW of string  (** reserved words, uppercased *)
+  | PRAGMA of pragma
+  | UNCHECKED_PRAGMA
+  | LPAREN | RPAREN
+  | LBRACK | RBRACK
+  | SEMI | COLON | COMMA | DOT | DOTDOT
+  | ASSIGN  (** := *)
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | AMP
+  | EOF
+
+type spanned = { tok : token; tpos : pos }
+
+exception Lex_error of string * pos
+
+let keywords =
+  [ "MODULE"; "BEGIN"; "END"; "TYPE"; "VAR"; "PROCEDURE"; "OBJECT";
+    "METHODS"; "OVERRIDES"; "IF"; "THEN"; "ELSIF"; "ELSE"; "WHILE"; "DO";
+    "FOR"; "TO"; "RETURN"; "NEW"; "NIL"; "TRUE"; "FALSE"; "AND"; "OR";
+    "NOT"; "DIV"; "MOD"; "INTEGER"; "BOOLEAN"; "TEXT"; "ARRAY"; "OF";
+    "REPEAT"; "UNTIL" ]
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let pos_of st = { line = st.line; col = st.i - st.bol + 1 }
+
+let error st fmt =
+  Fmt.kstr (fun s -> raise (Lex_error (s, pos_of st))) fmt
+
+let peek st = if st.i < String.length st.src then Some st.src.[st.i] else None
+
+let peek2 st =
+  if st.i + 1 < String.length st.src then Some st.src.[st.i + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.i + 1
+  | _ -> ());
+  st.i <- st.i + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* The contents of a pragma comment: words between "(*" and "*)". *)
+let parse_pragma st words p =
+  let strategy = function
+    | "DEMAND" -> S_demand
+    | "EAGER" -> S_eager
+    | w -> error st "unknown evaluation strategy %s in pragma" w
+  in
+  match words with
+  | "UNCHECKED" :: [] -> (UNCHECKED_PRAGMA, p)
+  | "MAINTAINED" :: rest ->
+    let s = match rest with [] -> S_default | [ w ] -> strategy w
+      | _ -> error st "too many arguments in MAINTAINED pragma"
+    in
+    (PRAGMA (Maintained s), p)
+  | "CACHED" :: rest ->
+    let s = ref S_default and pol = ref P_unbounded in
+    let rec go = function
+      | [] -> ()
+      | ("DEMAND" | "EAGER") as w :: rest ->
+        s := strategy w;
+        go rest
+      | "LRU" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k > 0 -> pol := P_lru k
+        | _ -> error st "bad LRU size %s" n);
+        go rest
+      | "FIFO" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k > 0 -> pol := P_fifo k
+        | _ -> error st "bad FIFO size %s" n);
+        go rest
+      | w :: _ -> error st "unknown CACHED pragma argument %s" w
+    in
+    go rest;
+    (PRAGMA (Cached (!s, !pol)), p)
+  | w :: _ -> error st "unknown pragma %s" w
+  | [] -> error st "empty pragma"
+
+(* Skip a (possibly nested) comment whose opening "(*" was consumed; if it
+   is a pragma, return its token. *)
+let comment_or_pragma st p =
+  let buf = Buffer.create 16 in
+  let depth = ref 1 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated comment"
+    | Some '*' when peek2 st = Some ')' ->
+      advance st;
+      advance st;
+      decr depth;
+      if !depth > 0 then begin
+        Buffer.add_string buf "*)";
+        go ()
+      end
+    | Some '(' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      incr depth;
+      Buffer.add_string buf "(*";
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  let text = Buffer.contents buf in
+  let words =
+    String.split_on_char ' ' (String.trim text)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | ("MAINTAINED" | "CACHED" | "UNCHECKED") :: _ -> Some (parse_pragma st words p)
+  | _ -> None (* ordinary comment *)
+
+let text_literal st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated text literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some c -> error st "bad escape \\%c" c
+      | None -> error st "unterminated text literal")
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let emit tok p = toks := { tok; tpos = p } :: !toks in
+  let rec go () =
+    let p = pos_of st in
+    match peek st with
+    | None -> emit EOF p
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      go ()
+    | Some '(' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      (match comment_or_pragma st p with
+      | Some (tok, p) -> emit tok p
+      | None -> ());
+      go ()
+    | Some c when is_digit c ->
+      let start = st.i in
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      let s = String.sub src start (st.i - start) in
+      (match int_of_string_opt s with
+      | Some n -> emit (INT n) p
+      | None -> error st "integer literal out of range: %s" s);
+      go ()
+    | Some c when is_alpha c ->
+      let start = st.i in
+      while (match peek st with Some c -> is_alnum c | None -> false) do
+        advance st
+      done;
+      let word = String.sub src start (st.i - start) in
+      if List.mem word keywords then emit (KW word) p else emit (IDENT word) p;
+      go ()
+    | Some '"' ->
+      advance st;
+      emit (TEXT (text_literal st)) p;
+      go ()
+    | Some c ->
+      advance st;
+      (match c with
+      | '(' -> emit LPAREN p
+      | ')' -> emit RPAREN p
+      | '[' -> emit LBRACK p
+      | ']' -> emit RBRACK p
+      | ';' -> emit SEMI p
+      | ',' -> emit COMMA p
+      | '.' ->
+        if peek st = Some '.' then begin
+          advance st;
+          emit DOTDOT p
+        end
+        else emit DOT p
+      | '+' -> emit PLUS p
+      | '-' -> emit MINUS p
+      | '*' -> emit STAR p
+      | '&' -> emit AMP p
+      | '=' -> emit EQ p
+      | '#' -> emit NE p
+      | ':' ->
+        if peek st = Some '=' then begin
+          advance st;
+          emit ASSIGN p
+        end
+        else emit COLON p
+      | '<' ->
+        if peek st = Some '=' then begin
+          advance st;
+          emit LE p
+        end
+        else emit LT p
+      | '>' ->
+        if peek st = Some '=' then begin
+          advance st;
+          emit GE p
+        end
+        else emit GT p
+      | c -> error st "unexpected character %C" c);
+      go ()
+  in
+  go ();
+  List.rev !toks

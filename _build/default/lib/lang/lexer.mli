@@ -1,0 +1,33 @@
+(** Hand-written lexer for Alphonse-L.
+
+    Comments [(* … *)] nest and are skipped — except the three Alphonse
+    pragma forms, which lex to tokens:
+    [(*MAINTAINED [DEMAND|EAGER]*)],
+    [(*CACHED [DEMAND|EAGER] [LRU n | FIFO n]*)], and [(*UNCHECKED*)].
+    Keywords are upper-case, as in Modula-3. Text literals support the
+    escapes backslash-n, backslash-t, backslash-quote, backslash-backslash. *)
+
+type token =
+  | INT of int
+  | TEXT of string
+  | IDENT of string
+  | KW of string  (** reserved word, uppercased *)
+  | PRAGMA of Ast.pragma
+  | UNCHECKED_PRAGMA
+  | LPAREN | RPAREN
+  | LBRACK | RBRACK
+  | SEMI | COLON | COMMA | DOT | DOTDOT
+  | ASSIGN  (** [:=] *)
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | AMP
+  | EOF
+
+type spanned = { tok : token; tpos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val keywords : string list
+
+val tokenize : string -> spanned list
+(** The token stream, ending with {!EOF}.
+    @raise Lex_error on malformed input. *)

@@ -1,0 +1,622 @@
+(** Recursive-descent parser for Alphonse-L. See {!Ast} for the shape of
+    the language; the concrete syntax follows the paper's Modula-3
+    notation (§3.2):
+
+    {v
+    MODULE M;
+    TYPE Tree = OBJECT
+      left, right : Tree;
+    METHODS
+      (*MAINTAINED*) height() : INTEGER := Height;
+    END;
+    VAR root : Tree;
+    PROCEDURE Height(t : Tree) : INTEGER =
+    BEGIN RETURN … END Height;
+    BEGIN …mutator… END M.
+    v} *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string * pos
+
+type stream = { mutable toks : spanned list }
+
+let err p fmt = Fmt.kstr (fun s -> raise (Parse_error (s, p))) fmt
+
+let peek s = match s.toks with [] -> { tok = EOF; tpos = no_pos } | t :: _ -> t
+
+let pos s = (peek s).tpos
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let describe = function
+  | INT n -> string_of_int n
+  | TEXT _ -> "text literal"
+  | IDENT i -> i
+  | KW k -> k
+  | PRAGMA _ -> "pragma"
+  | UNCHECKED_PRAGMA -> "(*UNCHECKED*)"
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACK -> "[" | RBRACK -> "]"
+  | SEMI -> ";" | COLON -> ":" | COMMA -> "," | DOT -> "." | DOTDOT -> ".."
+  | ASSIGN -> ":="
+  | EQ -> "=" | NE -> "#" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | AMP -> "&"
+  | EOF -> "end of input"
+
+let expect s tok what =
+  let t = next s in
+  if t.tok <> tok then err t.tpos "expected %s, found %s" what (describe t.tok)
+
+let kw s k = expect s (KW k) k
+
+let ident s =
+  let t = next s in
+  match t.tok with
+  | IDENT i -> i
+  | tok -> err t.tpos "expected identifier, found %s" (describe tok)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty s =
+  let t = next s in
+  match t.tok with
+  | KW "INTEGER" -> Tint
+  | KW "BOOLEAN" -> Tbool
+  | KW "TEXT" -> Ttext
+  | IDENT i -> Tobj i
+  | KW "ARRAY" ->
+    expect s LBRACK "[";
+    let lo =
+      match (next s).tok with
+      | INT n -> n
+      | tok -> err (pos s) "expected lower bound, found %s" (describe tok)
+    in
+    expect s DOTDOT "..";
+    let hi =
+      match (next s).tok with
+      | INT n -> n
+      | tok -> err (pos s) "expected upper bound, found %s" (describe tok)
+    in
+    expect s RBRACK "]";
+    kw s "OF";
+    if lo > hi then err t.tpos "empty array range [%d..%d]" lo hi;
+    Tarray (lo, hi, parse_ty s)
+  | tok -> err t.tpos "expected a type, found %s" (describe tok)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr s = parse_or s
+
+and parse_or s =
+  let rec go lhs =
+    match (peek s).tok with
+    | KW "OR" ->
+      let p = pos s in
+      advance s;
+      go (mk_expr ~pos:p (Binop (Or, lhs, parse_and s)))
+    | _ -> lhs
+  in
+  go (parse_and s)
+
+and parse_and s =
+  let rec go lhs =
+    match (peek s).tok with
+    | KW "AND" ->
+      let p = pos s in
+      advance s;
+      go (mk_expr ~pos:p (Binop (And, lhs, parse_rel s)))
+    | _ -> lhs
+  in
+  go (parse_rel s)
+
+and parse_rel s =
+  let lhs = parse_add s in
+  let binop op =
+    let p = pos s in
+    advance s;
+    mk_expr ~pos:p (Binop (op, lhs, parse_add s))
+  in
+  match (peek s).tok with
+  | EQ -> binop Eq
+  | NE -> binop Ne
+  | LT -> binop Lt
+  | LE -> binop Le
+  | GT -> binop Gt
+  | GE -> binop Ge
+  | _ -> lhs
+
+and parse_add s =
+  let rec go lhs =
+    let binop op =
+      let p = pos s in
+      advance s;
+      go (mk_expr ~pos:p (Binop (op, lhs, parse_mul s)))
+    in
+    match (peek s).tok with
+    | PLUS -> binop Add
+    | MINUS -> binop Sub
+    | AMP -> binop Cat
+    | _ -> lhs
+  in
+  go (parse_mul s)
+
+and parse_mul s =
+  let rec go lhs =
+    let binop op =
+      let p = pos s in
+      advance s;
+      go (mk_expr ~pos:p (Binop (op, lhs, parse_unary s)))
+    in
+    match (peek s).tok with
+    | STAR -> binop Mul
+    | KW "DIV" -> binop Div
+    | KW "MOD" -> binop Mod
+    | _ -> lhs
+  in
+  go (parse_unary s)
+
+and parse_unary s =
+  let p = pos s in
+  match (peek s).tok with
+  | MINUS ->
+    advance s;
+    mk_expr ~pos:p (Unop (Neg, parse_unary s))
+  | KW "NOT" ->
+    advance s;
+    mk_expr ~pos:p (Unop (Not, parse_unary s))
+  | UNCHECKED_PRAGMA ->
+    advance s;
+    mk_expr ~pos:p (Unchecked (parse_unary s))
+  | _ -> parse_postfix s
+
+and parse_postfix s =
+  let rec go e =
+    match (peek s).tok with
+    | DOT -> (
+      let p = pos s in
+      advance s;
+      let field = ident s in
+      match (peek s).tok with
+      | LPAREN ->
+        advance s;
+        let args = parse_args s in
+        go (mk_expr ~pos:p (Call (Cmethod (e, field), args)))
+      | _ -> go (mk_expr ~pos:p (Field (e, field))))
+    | LBRACK ->
+      let p = pos s in
+      advance s;
+      let i = parse_expr s in
+      expect s RBRACK "]";
+      go (mk_expr ~pos:p (Index (e, i)))
+    | _ -> e
+  in
+  go (parse_atom s)
+
+and parse_args s =
+  (* opening paren consumed; consumes the closing paren *)
+  if (peek s).tok = RPAREN then begin
+    advance s;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr s in
+      match (next s).tok with
+      | COMMA -> go (e :: acc)
+      | RPAREN -> List.rev (e :: acc)
+      | tok -> err (pos s) "expected , or ) in arguments, found %s" (describe tok)
+    in
+    go []
+  end
+
+and parse_atom s =
+  let t = next s in
+  let p = t.tpos in
+  match t.tok with
+  | INT n -> mk_expr ~pos:p (Int n)
+  | TEXT x -> mk_expr ~pos:p (Text x)
+  | KW "TRUE" -> mk_expr ~pos:p (Bool true)
+  | KW "FALSE" -> mk_expr ~pos:p (Bool false)
+  | KW "NIL" -> mk_expr ~pos:p Nil
+  | KW "NEW" ->
+    expect s LPAREN "(";
+    let tyname = ident s in
+    expect s RPAREN ")";
+    mk_expr ~pos:p (New tyname)
+  | IDENT name -> (
+    match (peek s).tok with
+    | LPAREN ->
+      advance s;
+      let args = parse_args s in
+      mk_expr ~pos:p (Call (Cproc name, args))
+    | _ -> mk_expr ~pos:p (Var name))
+  | LPAREN ->
+    let e = parse_expr s in
+    expect s RPAREN ")";
+    e
+  | tok -> err p "expected an expression, found %s" (describe tok)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let block_terminators = [ KW "END"; KW "ELSE"; KW "ELSIF"; KW "UNTIL"; EOF ]
+
+let rec parse_stmts s =
+  let rec go acc =
+    if List.mem (peek s).tok block_terminators then List.rev acc
+    else begin
+      let st = parse_stmt s in
+      (* statements are ';'-separated; the separator before a block
+         terminator is optional, as in Modula-3 *)
+      (if (peek s).tok = SEMI then advance s
+       else if not (List.mem (peek s).tok block_terminators) then
+         err (pos s) "expected ; between statements, found %s"
+           (describe (peek s).tok));
+      go (st :: acc)
+    end
+  in
+  go []
+
+and parse_stmt s =
+  let p = pos s in
+  match (peek s).tok with
+  | KW "IF" ->
+    advance s;
+    let rec branches acc =
+      let cond = parse_expr s in
+      kw s "THEN";
+      let body = parse_stmts s in
+      match (next s).tok with
+      | KW "ELSIF" -> branches ((cond, body) :: acc)
+      | KW "ELSE" ->
+        let els = parse_stmts s in
+        kw s "END";
+        (List.rev ((cond, body) :: acc), els)
+      | KW "END" -> (List.rev ((cond, body) :: acc), [])
+      | tok -> err (pos s) "expected ELSIF, ELSE or END, found %s" (describe tok)
+    in
+    let bs, els = branches [] in
+    mk_stmt ~pos:p (If (bs, els))
+  | KW "WHILE" ->
+    advance s;
+    let cond = parse_expr s in
+    kw s "DO";
+    let body = parse_stmts s in
+    kw s "END";
+    mk_stmt ~pos:p (While (cond, body))
+  | KW "REPEAT" ->
+    advance s;
+    let body = parse_stmts s in
+    kw s "UNTIL";
+    let cond = parse_expr s in
+    mk_stmt ~pos:p (Repeat (body, cond))
+  | KW "FOR" ->
+    advance s;
+    let v = ident s in
+    expect s ASSIGN ":=";
+    let lo = parse_expr s in
+    kw s "TO";
+    let hi = parse_expr s in
+    kw s "DO";
+    let body = parse_stmts s in
+    kw s "END";
+    mk_stmt ~pos:p (For (v, lo, hi, body))
+  | KW "RETURN" ->
+    advance s;
+    if List.mem (peek s).tok (SEMI :: block_terminators) then
+      mk_stmt ~pos:p (Return None)
+    else mk_stmt ~pos:p (Return (Some (parse_expr s)))
+  | _ -> (
+    (* designator := expr, or a call statement *)
+    let e = parse_expr s in
+    match (peek s).tok with
+    | ASSIGN -> (
+      advance s;
+      let rhs = parse_expr s in
+      match e.desc with
+      | Var _ | Field _ | Index _ -> mk_stmt ~pos:p (Assign (e, rhs))
+      | _ -> err p "left side of := must be a variable, field or element")
+    | _ -> (
+      match e.desc with
+      | Call _ -> mk_stmt ~pos:p (Call_stmt e)
+      | _ -> err p "expression is not a statement"))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params s =
+  expect s LPAREN "(";
+  if (peek s).tok = RPAREN then begin
+    advance s;
+    []
+  end
+  else begin
+    let rec go acc =
+      (* name {, name} : type *)
+      let names =
+        let rec names acc =
+          let n = ident s in
+          match (peek s).tok with
+          | COMMA ->
+            advance s;
+            names (n :: acc)
+          | _ -> List.rev (n :: acc)
+        in
+        names []
+      in
+      expect s COLON ":";
+      let ty = parse_ty s in
+      let acc = List.fold_left (fun acc n -> (n, ty) :: acc) acc names in
+      match (next s).tok with
+      | SEMI -> go acc
+      | RPAREN -> List.rev acc
+      | tok -> err (pos s) "expected ; or ) in parameters, found %s" (describe tok)
+    in
+    go []
+  end
+
+let parse_ret s =
+  if (peek s).tok = COLON then begin
+    advance s;
+    Some (parse_ty s)
+  end
+  else None
+
+let parse_pragma_opt s =
+  match (peek s).tok with
+  | PRAGMA p ->
+    advance s;
+    Some p
+  | _ -> None
+
+let parse_object_body s tname super tpos =
+  (* fields until METHODS/OVERRIDES/END *)
+  let fields = ref [] and methods = ref [] and overrides = ref [] in
+  let rec parse_fields () =
+    match (peek s).tok with
+    | KW "METHODS" | KW "OVERRIDES" | KW "END" -> ()
+    | IDENT _ ->
+      let fpos = pos s in
+      let names =
+        let rec names acc =
+          let n = ident s in
+          match (peek s).tok with
+          | COMMA ->
+            advance s;
+            names (n :: acc)
+          | _ -> List.rev (n :: acc)
+        in
+        names []
+      in
+      expect s COLON ":";
+      let fty = parse_ty s in
+      expect s SEMI ";";
+      List.iter (fun fname -> fields := { fname; fty; fpos } :: !fields) names;
+      parse_fields ()
+    | tok -> err (pos s) "expected a field declaration, found %s" (describe tok)
+  in
+  parse_fields ();
+  if (peek s).tok = KW "METHODS" then begin
+    advance s;
+    let rec go () =
+      match (peek s).tok with
+      | KW "OVERRIDES" | KW "END" -> ()
+      | _ ->
+        let mpos = pos s in
+        let mpragma = parse_pragma_opt s in
+        let mname = ident s in
+        let mparams = parse_params s in
+        let mret = parse_ret s in
+        expect s ASSIGN ":=";
+        let mimpl = ident s in
+        expect s SEMI ";";
+        methods := { mname; mparams; mret; mimpl; mpragma; mpos } :: !methods;
+        go ()
+    in
+    go ()
+  end;
+  if (peek s).tok = KW "OVERRIDES" then begin
+    advance s;
+    let rec go () =
+      match (peek s).tok with
+      | KW "END" -> ()
+      | _ ->
+        let opos = pos s in
+        let opragma = parse_pragma_opt s in
+        let oname = ident s in
+        expect s ASSIGN ":=";
+        let oimpl = ident s in
+        expect s SEMI ";";
+        overrides := { oname; oimpl; opragma; opos } :: !overrides;
+        go ()
+    in
+    go ()
+  end;
+  kw s "END";
+  {
+    tname;
+    super;
+    fields = List.rev !fields;
+    methods = List.rev !methods;
+    overrides = List.rev !overrides;
+    tpos;
+  }
+
+let parse_type_decl s =
+  let tpos = pos s in
+  let tname = ident s in
+  expect s EQ "=";
+  let super =
+    match (peek s).tok with
+    | IDENT i ->
+      advance s;
+      Some i
+    | _ -> None
+  in
+  kw s "OBJECT";
+  let td = parse_object_body s tname super tpos in
+  expect s SEMI ";";
+  td
+
+let parse_var_decl s =
+  (* VAR consumed; name {, name} : type [:= expr] ; — used for globals *)
+  let gpos = pos s in
+  let names =
+    let rec names acc =
+      let n = ident s in
+      match (peek s).tok with
+      | COMMA ->
+        advance s;
+        names (n :: acc)
+      | _ -> List.rev (n :: acc)
+    in
+    names []
+  in
+  expect s COLON ":";
+  let gty = parse_ty s in
+  let ginit =
+    if (peek s).tok = ASSIGN then begin
+      advance s;
+      Some (parse_expr s)
+    end
+    else None
+  in
+  expect s SEMI ";";
+  List.map (fun gname -> { gname; gty; ginit; gpos }) names
+
+let parse_proc_decl s ppragma =
+  let ppos = pos s in
+  let pname = ident s in
+  let params = parse_params s in
+  let ret = parse_ret s in
+  expect s EQ "=";
+  (* optional local VAR sections *)
+  let locals = ref [] in
+  while (peek s).tok = KW "VAR" do
+    advance s;
+    let rec go () =
+      match (peek s).tok with
+      | IDENT _ ->
+        let lpos = pos s in
+        let names =
+          let rec names acc =
+            let n = ident s in
+            match (peek s).tok with
+            | COMMA ->
+              advance s;
+              names (n :: acc)
+            | _ -> List.rev (n :: acc)
+          in
+          names []
+        in
+        expect s COLON ":";
+        let lty = parse_ty s in
+        let linit =
+          if (peek s).tok = ASSIGN then begin
+            advance s;
+            Some (parse_expr s)
+          end
+          else None
+        in
+        expect s SEMI ";";
+        List.iter
+          (fun lname -> locals := { lname; lty; linit; lpos } :: !locals)
+          names;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  done;
+  kw s "BEGIN";
+  let body = parse_stmts s in
+  kw s "END";
+  let closing = ident s in
+  if closing <> pname then
+    err ppos "procedure %s closed by END %s" pname closing;
+  expect s SEMI ";";
+  { pname; params; ret; locals = List.rev !locals; body; ppragma; ppos }
+
+let parse_module s =
+  kw s "MODULE";
+  let modname = ident s in
+  expect s SEMI ";";
+  let types = ref [] and globals = ref [] and procs = ref [] in
+  let rec decls () =
+    match (peek s).tok with
+    | KW "TYPE" ->
+      advance s;
+      (* several type declarations may follow one TYPE keyword *)
+      let rec go () =
+        match (peek s).tok with
+        | IDENT _ ->
+          types := parse_type_decl s :: !types;
+          go ()
+        | _ -> ()
+      in
+      go ();
+      decls ()
+    | KW "VAR" ->
+      advance s;
+      let rec go () =
+        match (peek s).tok with
+        | IDENT _ ->
+          globals := !globals @ parse_var_decl s;
+          go ()
+        | _ -> ()
+      in
+      go ();
+      decls ()
+    | PRAGMA p ->
+      advance s;
+      kw s "PROCEDURE";
+      procs := parse_proc_decl s (Some p) :: !procs;
+      decls ()
+    | KW "PROCEDURE" ->
+      advance s;
+      procs := parse_proc_decl s None :: !procs;
+      decls ()
+    | KW "BEGIN" -> ()
+    | tok -> err (pos s) "expected a declaration or BEGIN, found %s" (describe tok)
+  in
+  decls ();
+  kw s "BEGIN";
+  let main = parse_stmts s in
+  kw s "END";
+  let closing = ident s in
+  if closing <> modname then
+    err (pos s) "module %s closed by END %s" modname closing;
+  expect s DOT ".";
+  {
+    modname;
+    types = List.rev !types;
+    globals = !globals;
+    procs = List.rev !procs;
+    main;
+  }
+
+(** Parse a complete Alphonse-L module. *)
+let parse src =
+  match Lexer.tokenize src with
+  | exception Lexer.Lex_error (msg, p) ->
+    Error (Fmt.str "%a: lexical error: %s" Ast.pp_pos p msg)
+  | toks -> (
+    let s = { toks } in
+    match parse_module s with
+    | m ->
+      if (peek s).tok = EOF then Ok m
+      else Error (Fmt.str "%a: trailing input after module" Ast.pp_pos (pos s))
+    | exception Parse_error (msg, p) ->
+      Error (Fmt.str "%a: syntax error: %s" Ast.pp_pos p msg))

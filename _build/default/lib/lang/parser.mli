@@ -1,0 +1,35 @@
+(** Recursive-descent parser for Alphonse-L (concrete syntax per the
+    paper's Modula-3 notation, §3.2).
+
+    {v
+    MODULE M;
+    TYPE Tree = OBJECT
+      left, right : Tree;
+    METHODS
+      (*MAINTAINED*) height() : INTEGER := Height;
+    END;
+    VAR root : Tree;
+    VAR cells : ARRAY [1..9] OF Tree;
+    PROCEDURE Height(t : Tree) : INTEGER =
+    BEGIN RETURN ... END Height;
+    BEGIN (* the mutator *) END M.
+    v} *)
+
+exception Parse_error of string * Ast.pos
+(** Raised by the internal entry points; {!parse} converts it into a
+    [result]. *)
+
+val parse : string -> (Ast.module_, string) result
+(** Parse a complete module. The error string includes a line:column
+    position. *)
+
+(**/**)
+
+(* Internal entry points, exposed for white-box tests. *)
+
+type stream = { mutable toks : Lexer.spanned list }
+
+val parse_expr : stream -> Ast.expr
+val parse_ty : stream -> Ast.ty
+val parse_stmts : stream -> Ast.stmt list
+val parse_module : stream -> Ast.module_

@@ -1,0 +1,216 @@
+(** Unparser for Alphonse-L.
+
+    [pp_module] renders a module in concrete syntax that {!Parser.parse}
+    accepts again (the round-trip property is tested). With
+    [~marks:true] it instead renders the {e transformed} program of
+    Algorithm 2: reads of tracked storage appear as [access(…)], tracked
+    assignments as [modify(…, …)], and calls that may reach an
+    incremental procedure as [call(…, …)] — the display-form of the
+    paper's source-to-source translation (the executable form is the
+    instrumented interpreter in [Transform.Incr_interp]). *)
+
+open Ast
+
+let pp_strategy ppf = function
+  | S_default -> ()
+  | S_demand -> Fmt.string ppf " DEMAND"
+  | S_eager -> Fmt.string ppf " EAGER"
+
+let pp_policy ppf = function
+  | P_unbounded -> ()
+  | P_lru n -> Fmt.pf ppf " LRU %d" n
+  | P_fifo n -> Fmt.pf ppf " FIFO %d" n
+
+let pp_pragma ppf = function
+  | Maintained s -> Fmt.pf ppf "(*MAINTAINED%a*)" pp_strategy s
+  | Cached (s, p) -> Fmt.pf ppf "(*CACHED%a%a*)" pp_strategy s pp_policy p
+
+let binop_token = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "DIV" | Mod -> "MOD"
+  | Cat -> "&"
+  | Eq -> "=" | Ne -> "#" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+(* precedence levels for minimal parenthesization *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub | Cat -> 4
+  | Mul | Div | Mod -> 5
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_expr ~marks prec ppf e =
+  let atomic fmt = Fmt.pf ppf fmt in
+  match e.desc with
+  | Int n ->
+    (* negative literals print exactly like a unary negation would, so the
+       printer is a fixpoint of print∘parse (the parser reads -7 as
+       Neg(7)) *)
+    if n < 0 && prec > 6 then atomic "(%d)" n else atomic "%d" n
+  | Bool true -> atomic "TRUE"
+  | Bool false -> atomic "FALSE"
+  | Text s -> atomic "\"%s\"" (escape_text s)
+  | Nil -> atomic "NIL"
+  | Var x ->
+    if marks && e.note.tracked && e.note.is_global then atomic "access(%s)" x
+    else atomic "%s" x
+  | Field (b, f) ->
+    if marks && e.note.tracked then
+      Fmt.pf ppf "access(%a.%s)" (pp_expr ~marks 7) b f
+    else Fmt.pf ppf "%a.%s" (pp_expr ~marks 7) b f
+  | Index (b, i) ->
+    if marks && e.note.tracked then
+      Fmt.pf ppf "access(%a[%a])" (pp_expr ~marks 7) b (pp_expr ~marks 0) i
+    else Fmt.pf ppf "%a[%a]" (pp_expr ~marks 7) b (pp_expr ~marks 0) i
+  | New t -> atomic "NEW(%s)" t
+  | Call (callee, args) ->
+    let pp_args ppf args =
+      Fmt.list ~sep:Fmt.comma (pp_expr ~marks 0) ppf args
+    in
+    let pp_callee ppf = function
+      | Cproc p -> Fmt.string ppf p
+      | Cmethod (o, m) -> Fmt.pf ppf "%a.%s" (pp_expr ~marks 7) o m
+    in
+    if marks && e.note.tracked then
+      if args = [] then Fmt.pf ppf "call(%a)" pp_callee callee
+      else Fmt.pf ppf "call(%a, %a)" pp_callee callee pp_args args
+    else Fmt.pf ppf "%a(%a)" pp_callee callee pp_args args
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let body ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_expr ~marks p) a (binop_token op)
+        (pp_expr ~marks (p + 1)) b
+    in
+    if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Unop (op, a) ->
+    let tok = match op with Neg -> "-" | Not -> "NOT " in
+    (* operand printed at atom precedence so nested unaries parenthesize:
+       -(-x), never the ambiguous --x *)
+    let body ppf () = Fmt.pf ppf "%s%a" tok (pp_expr ~marks 7) a in
+    if prec > 6 then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Unchecked a ->
+    let body ppf () = Fmt.pf ppf "(*UNCHECKED*) %a" (pp_expr ~marks 6) a in
+    if prec > 6 then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+let rec pp_stmt ~marks ppf s =
+  match s.sdesc with
+  | Assign (d, e) ->
+    if marks && d.note.tracked then
+      (* modify(l, v): print the designator unmarked (it is the modified
+         location, not a read) *)
+      Fmt.pf ppf "@[<hv 2>modify(%a,@ %a)@]"
+        (pp_expr ~marks:false 0) d (pp_expr ~marks 0) e
+    else
+      Fmt.pf ppf "@[<hv 2>%a :=@ %a@]" (pp_expr ~marks:false 0) d
+        (pp_expr ~marks 0) e
+  | Call_stmt e -> pp_expr ~marks 0 ppf e
+  | If (branches, els) ->
+    let first = ref true in
+    List.iter
+      (fun (c, body) ->
+        Fmt.pf ppf "@[<v 2>%s %a THEN@,%a@]@,"
+          (if !first then "IF" else "ELSIF")
+          (pp_expr ~marks 0) c (pp_stmts ~marks) body;
+        first := false)
+      branches;
+    if els <> [] then Fmt.pf ppf "@[<v 2>ELSE@,%a@]@," (pp_stmts ~marks) els;
+    Fmt.pf ppf "END"
+  | While (c, body) ->
+    Fmt.pf ppf "@[<v 2>WHILE %a DO@,%a@]@,END" (pp_expr ~marks 0) c
+      (pp_stmts ~marks) body
+  | Repeat (body, c) ->
+    Fmt.pf ppf "@[<v 2>REPEAT@,%a@]@,UNTIL %a" (pp_stmts ~marks) body
+      (pp_expr ~marks 0) c
+  | For (v, lo, hi, body) ->
+    Fmt.pf ppf "@[<v 2>FOR %s := %a TO %a DO@,%a@]@,END" v (pp_expr ~marks 0)
+      lo (pp_expr ~marks 0) hi (pp_stmts ~marks) body
+  | Return None -> Fmt.string ppf "RETURN"
+  | Return (Some e) -> Fmt.pf ppf "RETURN %a" (pp_expr ~marks 0) e
+
+and pp_stmts ~marks ppf stmts =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any ";@,") (pp_stmt ~marks))
+    stmts
+
+let pp_param_list ppf params =
+  let pp_param ppf (n, t) = Fmt.pf ppf "%s : %a" n pp_ty t in
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any "; ") pp_param) params
+
+let pp_ret ppf = function
+  | None -> ()
+  | Some t -> Fmt.pf ppf " : %a" pp_ty t
+
+let pp_pragma_prefix ppf = function
+  | None -> ()
+  | Some p -> Fmt.pf ppf "%a " pp_pragma p
+
+let pp_type_decl ~marks ppf td =
+  ignore marks;
+  Fmt.pf ppf "@[<v 2>TYPE %s = %sOBJECT@," td.tname
+    (match td.super with None -> "" | Some s -> s ^ " ");
+  List.iter (fun f -> Fmt.pf ppf "%s : %a;@," f.fname pp_ty f.fty) td.fields;
+  if td.methods <> [] then begin
+    Fmt.pf ppf "METHODS@,";
+    List.iter
+      (fun m ->
+        Fmt.pf ppf "  %a%s%a%a := %s;@," pp_pragma_prefix m.mpragma m.mname
+          pp_param_list m.mparams pp_ret m.mret m.mimpl)
+      td.methods
+  end;
+  if td.overrides <> [] then begin
+    Fmt.pf ppf "OVERRIDES@,";
+    List.iter
+      (fun o ->
+        Fmt.pf ppf "  %a%s := %s;@," pp_pragma_prefix o.opragma o.oname o.oimpl)
+      td.overrides
+  end;
+  Fmt.pf ppf "@]@,END;@,"
+
+let pp_proc_decl ~marks ppf p =
+  Fmt.pf ppf "@[<v 0>%aPROCEDURE %s%a%a =@," pp_pragma_prefix p.ppragma
+    p.pname pp_param_list p.params pp_ret p.ret;
+  if p.locals <> [] then begin
+    Fmt.pf ppf "VAR@,";
+    List.iter
+      (fun l ->
+        match l.linit with
+        | None -> Fmt.pf ppf "  %s : %a;@," l.lname pp_ty l.lty
+        | Some e ->
+          Fmt.pf ppf "  %s : %a := %a;@," l.lname pp_ty l.lty
+            (pp_expr ~marks 0) e)
+      p.locals
+  end;
+  Fmt.pf ppf "@[<v 2>BEGIN@,%a@]@,END %s;@]@,@," (pp_stmts ~marks) p.body
+    p.pname
+
+let pp_module ?(marks = false) ppf m =
+  Fmt.pf ppf "@[<v 0>MODULE %s;@,@," m.modname;
+  List.iter (fun td -> pp_type_decl ~marks ppf td) m.types;
+  if m.types <> [] then Fmt.pf ppf "@,";
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | None -> Fmt.pf ppf "VAR %s : %a;@," g.gname pp_ty g.gty
+      | Some e ->
+        Fmt.pf ppf "VAR %s : %a := %a;@," g.gname pp_ty g.gty
+          (pp_expr ~marks 0) e)
+    m.globals;
+  if m.globals <> [] then Fmt.pf ppf "@,";
+  List.iter (fun p -> pp_proc_decl ~marks ppf p) m.procs;
+  Fmt.pf ppf "@[<v 2>BEGIN@,%a@]@,END %s.@]" (pp_stmts ~marks) m.main
+    m.modname
+
+let to_string ?marks m = Fmt.str "%a" (pp_module ?marks) m

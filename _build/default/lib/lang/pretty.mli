@@ -1,0 +1,22 @@
+(** Unparser for Alphonse-L.
+
+    Without marks the output re-parses to the same tree (a fixpoint of
+    print∘parse, property-tested). With [~marks:true] and after
+    [Transform.Analysis.analyze] has filled the site notes, it renders
+    the {e transformed} program of the paper's Algorithm 2: reads of
+    tracked storage as [access(…)], tracked assignments as
+    [modify(…, …)], and potentially-incremental calls as [call(…, …)]. *)
+
+val pp_pragma : Format.formatter -> Ast.pragma -> unit
+
+val pp_expr : marks:bool -> int -> Format.formatter -> Ast.expr -> unit
+(** [pp_expr ~marks prec ppf e] prints [e] in a context of precedence
+    [prec] (0 = top level), parenthesizing as needed. *)
+
+val pp_stmt : marks:bool -> Format.formatter -> Ast.stmt -> unit
+val pp_stmts : marks:bool -> Format.formatter -> Ast.stmt list -> unit
+
+val pp_module : ?marks:bool -> Format.formatter -> Ast.module_ -> unit
+(** Print a whole module ([marks] defaults to [false]). *)
+
+val to_string : ?marks:bool -> Ast.module_ -> string

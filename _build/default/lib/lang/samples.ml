@@ -1,0 +1,586 @@
+(** Sample Alphonse-L programs, used by the tests, the E12 benches, the
+    examples, and [alphonsec]. The first two are transcriptions of the
+    paper's Algorithm 1 (maintained height trees) and Algorithm 11 (AVL
+    trees as a maintained balance method). *)
+
+(** Algorithm 1: the maintained-height tree. Builds a left spine, queries
+    the height, grafts a deeper spine, queries again. *)
+let height_tree =
+  {|
+MODULE HeightTree;
+
+TYPE Tree = OBJECT
+  left, right : Tree;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+END;
+
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+END;
+
+VAR nil : Tree;
+VAR root : Tree;
+
+PROCEDURE Height(t : Tree) : INTEGER =
+VAR hl, hr : INTEGER;
+BEGIN
+  hl := t.left.height();
+  hr := t.right.height();
+  IF hl > hr THEN RETURN hl + 1 ELSE RETURN hr + 1 END
+END Height;
+
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN
+  RETURN 0
+END HeightNil;
+
+PROCEDURE Spine(n : INTEGER) : Tree =
+VAR t : Tree;
+BEGIN
+  t := nil;
+  FOR i := 1 TO n DO
+    t := Node(t, nil)
+  END;
+  RETURN t
+END Spine;
+
+PROCEDURE Node(l, r : Tree) : Tree =
+VAR t : Tree;
+BEGIN
+  t := NEW(Tree);
+  t.left := l;
+  t.right := r;
+  RETURN t
+END Node;
+
+BEGIN
+  nil := NEW(TreeNil);
+  root := Node(Spine(10), Spine(4));
+  Print("height=", root.height(), "\n");
+  root.right := Spine(20);
+  Print("height=", root.height(), "\n");
+  root.right := nil;
+  Print("height=", root.height(), "\n")
+END HeightTree.
+|}
+
+(** Algorithm 11: self-balancing AVL trees. Balancing is the maintained
+    [balance] method; insertion is the plain unbalanced BST algorithm.
+    The rotation cascade is a conventional helper procedure [Fix] called
+    from the maintained body (see the library's [Trees.Avl] for why the
+    paper's re-entrant [RotateRight(t).balance()] formulation is
+    expressed this way). [balance] is pinned to DEMAND evaluation with
+    the pragma argument: a side-effecting method that restructures the
+    data it navigates is not OBS-safe under eager evaluation (§3.5). *)
+let avl =
+  {|
+MODULE AvlTree;
+
+TYPE Avl = OBJECT
+  key : INTEGER;
+  left, right : Avl;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+  (*MAINTAINED DEMAND*) balance() : Avl := Balance;
+END;
+
+TYPE AvlNil = Avl OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+  (*MAINTAINED DEMAND*) balance := BalanceNil;
+END;
+
+VAR nil : Avl;
+VAR root : Avl;
+
+PROCEDURE Height(t : Avl) : INTEGER =
+VAR hl, hr : INTEGER;
+BEGIN
+  hl := t.left.height();
+  hr := t.right.height();
+  IF hl > hr THEN RETURN hl + 1 ELSE RETURN hr + 1 END
+END Height;
+
+PROCEDURE HeightNil(t : Avl) : INTEGER =
+BEGIN
+  RETURN 0
+END HeightNil;
+
+PROCEDURE Diff(t : Avl) : INTEGER =
+BEGIN
+  RETURN t.left.height() - t.right.height()
+END Diff;
+
+PROCEDURE RotateRight(t : Avl) : Avl =
+VAR s, b : Avl;
+BEGIN
+  s := t.left;
+  b := s.right;
+  s.right := t;
+  t.left := b;
+  RETURN s
+END RotateRight;
+
+PROCEDURE RotateLeft(t : Avl) : Avl =
+VAR s, b : Avl;
+BEGIN
+  s := t.right;
+  b := s.left;
+  s.left := t;
+  t.right := b;
+  RETURN s
+END RotateLeft;
+
+PROCEDURE Fix(t : Avl) : Avl =
+VAR s : Avl;
+BEGIN
+  IF t = nil THEN RETURN t END;
+  IF Diff(t) > 1 THEN
+    IF Diff(t.left) < 0 THEN t.left := RotateLeft(t.left) END;
+    s := RotateRight(t);
+    s.right := Fix(s.right);
+    RETURN Fix(s)
+  ELSIF Diff(t) < 0 - 1 THEN
+    IF Diff(t.right) > 0 THEN t.right := RotateRight(t.right) END;
+    s := RotateLeft(t);
+    s.left := Fix(s.left);
+    RETURN Fix(s)
+  ELSE
+    RETURN t
+  END
+END Fix;
+
+PROCEDURE Balance(t : Avl) : Avl =
+BEGIN
+  t.left := t.left.balance();
+  t.right := t.right.balance();
+  RETURN Fix(t)
+END Balance;
+
+PROCEDURE BalanceNil(t : Avl) : Avl =
+BEGIN
+  RETURN t
+END BalanceNil;
+
+PROCEDURE Insert(t : Avl; k : INTEGER) : Avl =
+VAR n : Avl;
+BEGIN
+  IF t = nil THEN
+    n := NEW(Avl);
+    n.key := k;
+    n.left := nil;
+    n.right := nil;
+    RETURN n
+  END;
+  IF k < t.key THEN
+    t.left := Insert(t.left, k)
+  ELSIF k > t.key THEN
+    t.right := Insert(t.right, k)
+  END;
+  RETURN t
+END Insert;
+
+PROCEDURE InOrder(t : Avl) =
+BEGIN
+  IF t # nil THEN
+    InOrder(t.left);
+    Print(t.key, " ");
+    InOrder(t.right)
+  END
+END InOrder;
+
+BEGIN
+  nil := NEW(AvlNil);
+  root := nil;
+  FOR k := 1 TO 30 DO
+    root := Insert(root, k);
+    root := root.balance()
+  END;
+  Print("height=", root.height(), "\n");
+  InOrder(root);
+  Print("\n");
+  FOR k := 31 TO 60 DO
+    root := Insert(root, k)
+  END;
+  root := root.balance();
+  Print("height=", root.height(), "\n")
+END AvlTree.
+|}
+
+(** Function caching on a classic: naive Fibonacci becomes linear. *)
+let fib_cached =
+  {|
+MODULE Fib;
+
+(*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+BEGIN
+  IF n < 2 THEN RETURN n END;
+  RETURN Fib(n - 1) + Fib(n - 2)
+END Fib;
+
+BEGIN
+  Print(Fib(20), "\n");
+  Print(Fib(21), "\n")
+END Fib.
+|}
+
+(** A maintained method over global scalars — the smallest interesting
+    mutator/Maintained-portion split. *)
+let sums_maintained =
+  {|
+MODULE Sums;
+
+TYPE Calc = OBJECT
+METHODS
+  (*MAINTAINED*) total() : INTEGER := Total;
+END;
+
+VAR a, b, c : INTEGER;
+VAR calc : Calc;
+VAR scratch : INTEGER;
+
+PROCEDURE Total(s : Calc) : INTEGER =
+BEGIN
+  RETURN a + b + c
+END Total;
+
+BEGIN
+  calc := NEW(Calc);
+  a := 1;
+  b := 2;
+  c := 3;
+  Print(calc.total(), "\n");
+  b := 10;
+  Print(calc.total(), "\n");
+  scratch := 999;
+  Print(calc.total(), "\n")
+END Sums.
+|}
+
+(** The §6.4 UNCHECKED pragma: the search path of a lookup does not
+    affect its result, so path changes must not invalidate it. *)
+let unchecked_lookup =
+  {|
+MODULE Unchecked;
+
+VAR p1, p2, p3, target : INTEGER;
+VAR probe : Probe;
+
+TYPE Probe = OBJECT
+METHODS
+  (*MAINTAINED*) lookup() : INTEGER := Lookup;
+END;
+
+PROCEDURE Walk() : INTEGER =
+BEGIN
+  RETURN p1 + p2 + p3
+END Walk;
+
+PROCEDURE Lookup(s : Probe) : INTEGER =
+VAR w : INTEGER;
+BEGIN
+  w := (*UNCHECKED*) Walk();
+  RETURN target
+END Lookup;
+
+BEGIN
+  probe := NEW(Probe);
+  target := 100;
+  Print(probe.lookup(), "\n");
+  p2 := 42;
+  Print(probe.lookup(), "\n");
+  target := 7;
+  Print(probe.lookup(), "\n")
+END Unchecked.
+|}
+
+(** Demand vs eager pragma arguments and a cached procedure with an LRU
+    table, exercising the full pragma grammar. *)
+let pragma_zoo =
+  {|
+MODULE Zoo;
+
+TYPE Pair = OBJECT
+  x, y : INTEGER;
+METHODS
+  (*MAINTAINED DEMAND*) sum() : INTEGER := Sum;
+  (*MAINTAINED EAGER*) prod() : INTEGER := Prod;
+END;
+
+VAR p : Pair;
+
+PROCEDURE Sum(s : Pair) : INTEGER =
+BEGIN
+  RETURN s.x + s.y
+END Sum;
+
+PROCEDURE Prod(s : Pair) : INTEGER =
+BEGIN
+  RETURN s.x * s.y
+END Prod;
+
+(*CACHED LRU 4*) PROCEDURE Square(n : INTEGER) : INTEGER =
+BEGIN
+  RETURN n * n
+END Square;
+
+BEGIN
+  p := NEW(Pair);
+  p.x := 3;
+  p.y := 4;
+  Print(p.sum(), " ", p.prod(), "\n");
+  p.x := 10;
+  Print(p.sum(), " ", p.prod(), "\n");
+  FOR i := 1 TO 8 DO
+    Print(Square(i), " ")
+  END;
+  Print("\n");
+  Print(Square(2), "\n")
+END Zoo.
+|}
+
+(** Algorithm 10 (§7.2): the spreadsheet. Cells hold expression trees; a
+    [CellExp] node references another cell by index and returns its
+    maintained value — "the use of top-level data references", and "how
+    one Alphonse program can be used to construct another". *)
+let spreadsheet =
+  {|
+MODULE Spread;
+
+TYPE Exp = OBJECT
+METHODS
+  (*MAINTAINED*) value() : INTEGER := ZeroVal;
+END;
+
+TYPE NumExp = Exp OBJECT
+  n : INTEGER;
+OVERRIDES
+  (*MAINTAINED*) value := NumVal;
+END;
+
+TYPE PlusExp = Exp OBJECT
+  e1, e2 : Exp;
+OVERRIDES
+  (*MAINTAINED*) value := PlusVal;
+END;
+
+TYPE TimesExp = Exp OBJECT
+  e1, e2 : Exp;
+OVERRIDES
+  (*MAINTAINED*) value := TimesVal;
+END;
+
+TYPE CellExp = Exp OBJECT
+  ix : INTEGER;
+OVERRIDES
+  (*MAINTAINED*) value := CellRefVal;
+END;
+
+TYPE Cell = OBJECT
+  func : Exp;
+METHODS
+  (*MAINTAINED*) value() : INTEGER := CellVal;
+END;
+
+VAR cells : ARRAY [1..9] OF Cell;
+
+PROCEDURE ZeroVal(e : Exp) : INTEGER =
+BEGIN
+  RETURN 0
+END ZeroVal;
+
+PROCEDURE NumVal(e : NumExp) : INTEGER =
+BEGIN
+  RETURN e.n
+END NumVal;
+
+PROCEDURE PlusVal(e : PlusExp) : INTEGER =
+BEGIN
+  RETURN e.e1.value() + e.e2.value()
+END PlusVal;
+
+PROCEDURE TimesVal(e : TimesExp) : INTEGER =
+BEGIN
+  RETURN e.e1.value() * e.e2.value()
+END TimesVal;
+
+PROCEDURE CellRefVal(e : CellExp) : INTEGER =
+BEGIN
+  RETURN cells[e.ix].value()
+END CellRefVal;
+
+PROCEDURE CellVal(c : Cell) : INTEGER =
+BEGIN
+  RETURN c.func.value()
+END CellVal;
+
+PROCEDURE Num(n : INTEGER) : Exp =
+VAR e : NumExp;
+BEGIN
+  e := NEW(NumExp);
+  e.n := n;
+  RETURN e
+END Num;
+
+PROCEDURE Plus(a, b : Exp) : Exp =
+VAR e : PlusExp;
+BEGIN
+  e := NEW(PlusExp);
+  e.e1 := a;
+  e.e2 := b;
+  RETURN e
+END Plus;
+
+PROCEDURE Times(a, b : Exp) : Exp =
+VAR e : TimesExp;
+BEGIN
+  e := NEW(TimesExp);
+  e.e1 := a;
+  e.e2 := b;
+  RETURN e
+END Times;
+
+PROCEDURE Ref(ix : INTEGER) : Exp =
+VAR e : CellExp;
+BEGIN
+  e := NEW(CellExp);
+  e.ix := ix;
+  RETURN e
+END Ref;
+
+PROCEDURE ShowAll() =
+BEGIN
+  FOR i := 1 TO 9 DO
+    Print(cells[i].value(), " ")
+  END;
+  Print("
+")
+END ShowAll;
+
+BEGIN
+  FOR i := 1 TO 9 DO
+    cells[i] := NEW(Cell);
+    cells[i].func := Num(0)
+  END;
+  cells[1].func := Num(5);
+  cells[2].func := Num(7);
+  cells[3].func := Plus(Ref(1), Ref(2));
+  cells[4].func := Times(Ref(3), Num(10));
+  cells[5].func := Plus(Ref(4), Ref(1));
+  cells[6].func := Plus(Ref(5), Ref(5));
+  ShowAll();
+  cells[1].func := Num(100);
+  ShowAll();
+  cells[3].func := Times(Ref(1), Ref(2));
+  ShowAll();
+  cells[9].func := Plus(Ref(6), Ref(4));
+  ShowAll()
+END Spread.
+|}
+
+(** A conventional arrays program (no pragmas): the sieve of
+    Eratosthenes. Exercises nested loops, arrays and booleans in both
+    interpreters; under Alphonse execution the §6.1 analysis proves every
+    site untracked, so it runs at conventional speed (E6). *)
+let sieve =
+  {|
+MODULE Sieve;
+
+VAR composite : ARRAY [2..120] OF BOOLEAN;
+VAR count : INTEGER;
+
+BEGIN
+  FOR i := 2 TO 120 DO
+    IF NOT composite[i] THEN
+      count := count + 1;
+      Print(i, " ");
+      FOR k := 2 TO 120 DIV i DO
+        composite[i * k] := TRUE
+      END
+    END
+  END;
+  Print("\ncount=", count, "\n")
+END Sieve.
+|}
+
+(** Incremental graph maintenance: nodes with up to two outgoing edges
+    carry a maintained [dist] method — the length of the shortest path to
+    the sink. The mutator rewires edges; distances update incrementally
+    (diamond-shaped dependencies, the E14 shape, expressed in L). *)
+let shortest_path =
+  {|
+MODULE Dist;
+
+TYPE Node = OBJECT
+  e1, e2 : Node;
+METHODS
+  (*MAINTAINED*) dist() : INTEGER := Dist;
+END;
+
+TYPE Sink = Node OBJECT
+OVERRIDES
+  (*MAINTAINED*) dist := DistSink;
+END;
+
+VAR sink : Node;
+VAR a, b, c, d, e : Node;
+
+PROCEDURE Dist(n : Node) : INTEGER =
+VAR d1, d2 : INTEGER;
+BEGIN
+  d1 := 1000000;
+  d2 := 1000000;
+  IF n.e1 # NIL THEN d1 := n.e1.dist() + 1 END;
+  IF n.e2 # NIL THEN d2 := n.e2.dist() + 1 END;
+  IF d1 < d2 THEN RETURN d1 ELSE RETURN d2 END
+END Dist;
+
+PROCEDURE DistSink(n : Node) : INTEGER =
+BEGIN
+  RETURN 0
+END DistSink;
+
+PROCEDURE Mk(x, y : Node) : Node =
+VAR n : Node;
+BEGIN
+  n := NEW(Node);
+  n.e1 := x;
+  n.e2 := y;
+  RETURN n
+END Mk;
+
+BEGIN
+  sink := NEW(Sink);
+  a := Mk(sink, NIL);
+  b := Mk(a, NIL);
+  c := Mk(b, a);
+  d := Mk(c, b);
+  e := Mk(d, c);
+  Print(e.dist(), " ", d.dist(), " ", c.dist(), "
+");
+  (* shortcut: e gains a direct edge to a *)
+  e.e2 := a;
+  Print(e.dist(), "
+");
+  (* sever the shortcut and also the c -> a edge *)
+  e.e2 := NIL;
+  c.e2 := NIL;
+  Print(e.dist(), "
+")
+END Dist.
+|}
+
+let all =
+  [
+    ("height_tree", height_tree);
+    ("avl", avl);
+    ("fib_cached", fib_cached);
+    ("sums_maintained", sums_maintained);
+    ("unchecked_lookup", unchecked_lookup);
+    ("pragma_zoo", pragma_zoo);
+    ("spreadsheet", spreadsheet);
+    ("sieve", sieve);
+    ("shortest_path", shortest_path);
+  ]

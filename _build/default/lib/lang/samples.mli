@@ -1,0 +1,38 @@
+(** Sample Alphonse-L programs, shared by the tests, the E12 benches, the
+    examples, and [alphonsec] (which accepts their names in place of file
+    paths). Three are transcriptions of the paper's own algorithms. *)
+
+val height_tree : string
+(** Algorithm 1: the maintained-height tree. *)
+
+val avl : string
+(** Algorithm 11: self-balancing AVL trees ([balance] pinned to DEMAND —
+    see DESIGN.md deviation 2). *)
+
+val spreadsheet : string
+(** Algorithm 10: cells holding expression trees with cell-reference
+    nodes, over an [ARRAY [1..9] OF Cell]. *)
+
+val fib_cached : string
+(** Function caching on naive Fibonacci. *)
+
+val sums_maintained : string
+(** The smallest interesting mutator / Maintained-portion split. *)
+
+val unchecked_lookup : string
+(** The §6.4 [(*UNCHECKED*)] pragma. *)
+
+val pragma_zoo : string
+(** Exercises the full pragma grammar: DEMAND/EAGER arguments and an LRU
+    cache bound. *)
+
+val sieve : string
+(** A conventional (pragma-free) arrays program — the sieve of
+    Eratosthenes; the §6.1 analysis proves every site untracked. *)
+
+val shortest_path : string
+(** Incremental shortest-path maintenance over a mutable DAG — diamond
+    dependencies in L. *)
+
+val all : (string * string) list
+(** Every sample with its name. *)

@@ -1,0 +1,550 @@
+(** Type checker for Alphonse-L.
+
+    Builds the class table (fields and methods with inheritance and
+    overrides applied), checks every procedure body and the module body,
+    and fills in the [note] fields the interpreters and the §6.1 analysis
+    rely on ([ty], [is_global]).
+
+    Pragma obligations checked here: [(*CACHED*)] only on value-returning
+    procedures, override pragmas consistent with the overridden method,
+    and implementing procedures signature-compatible with their method
+    declarations (receiver first, paper §3.2). The semantic restrictions
+    DET/TOP/OBS of §3.5 are, as in the paper, the programmer's proof
+    obligation — "not automatically enforced by the Alphonse compiler". *)
+
+open Ast
+
+type method_info = {
+  mi_name : string;
+  mi_params : (string * ty) list;
+  mi_ret : ty option;
+  mi_impl : string;  (** implementing procedure for this class *)
+  mi_pragma : pragma option;
+  mi_origin : string;  (** class that introduced the method *)
+}
+
+type class_info = {
+  ci_name : string;
+  ci_super : string option;
+  ci_fields : (string * ty) list;  (** inherited first, in order *)
+  ci_methods : (string * method_info) list;  (** overrides applied *)
+}
+
+type env = {
+  classes : (string, class_info) Hashtbl.t;
+  procs : (string, proc_decl) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;
+  m : module_;
+}
+
+type error = { msg : string; epos : pos }
+
+let pp_error ppf e = Fmt.pf ppf "%a: %s" pp_pos e.epos e.msg
+
+exception Fatal of error
+
+exception Proper_call of pos
+(** Raised while checking a call to a proper (non-value-returning)
+    procedure; callers in value position turn it into an error, statement
+    position accepts it. *)
+
+let fatal epos fmt = Fmt.kstr (fun msg -> raise (Fatal { msg; epos })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Class table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let class_info env name = Hashtbl.find_opt env.classes name
+
+let rec is_subclass env sub super =
+  sub = super
+  ||
+  match class_info env sub with
+  | Some { ci_super = Some s; _ } -> is_subclass env s super
+  | _ -> false
+
+(* nil-aware expression types *)
+type ety = Known of ty | Nil_ty
+
+let subsumes env ~expected actual =
+  match (expected, actual) with
+  | _, Nil_ty -> (match expected with Tobj _ -> true | _ -> false)
+  | Tobj sup, Known (Tobj sub) -> is_subclass env sub sup
+  | t, Known t' -> t = t'
+
+let pp_ety ppf = function
+  | Known t -> pp_ty ppf t
+  | Nil_ty -> Fmt.string ppf "NIL"
+
+let lookup_method env cls name =
+  match class_info env cls with
+  | None -> None
+  | Some ci -> List.assoc_opt name ci.ci_methods
+
+let lookup_field env cls name =
+  match class_info env cls with
+  | None -> None
+  | Some ci -> List.assoc_opt name ci.ci_fields
+
+(* Build class_info for every type declaration, checking inheritance. *)
+let build_classes errors m =
+  let classes = Hashtbl.create 16 in
+  let err epos fmt = Fmt.kstr (fun msg -> errors := { msg; epos } :: !errors) fmt in
+  (* existence and duplicate checks first *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun td ->
+      if Hashtbl.mem seen td.tname then
+        err td.tpos "duplicate type %s" td.tname
+      else Hashtbl.add seen td.tname td)
+    m.types;
+  (* detect inheritance cycles with a DFS *)
+  let rec super_chain acc td =
+    match td.super with
+    | None -> List.rev (td.tname :: acc)
+    | Some s ->
+      if List.mem td.tname acc then begin
+        err td.tpos "inheritance cycle at %s" td.tname;
+        List.rev acc
+      end
+      else (
+        match Hashtbl.find_opt seen s with
+        | None ->
+          err td.tpos "unknown supertype %s of %s" s td.tname;
+          List.rev (td.tname :: acc)
+        | Some std -> super_chain (td.tname :: acc) std)
+  in
+  (* build bottom-up along each chain, memoized in [classes] *)
+  let rec build td =
+    match Hashtbl.find_opt classes td.tname with
+    | Some ci -> ci
+    | None ->
+      let base =
+        match td.super with
+        | None -> { ci_name = ""; ci_super = None; ci_fields = []; ci_methods = [] }
+        | Some s -> (
+          match Hashtbl.find_opt seen s with
+          | Some std when not (List.mem td.tname (super_chain [] std)) ->
+            build std
+          | _ ->
+            { ci_name = ""; ci_super = None; ci_fields = []; ci_methods = [] })
+      in
+      (* fields: no shadowing allowed *)
+      let fields =
+        List.fold_left
+          (fun acc f ->
+            if List.mem_assoc f.fname acc then begin
+              err f.fpos "field %s shadows an inherited or duplicate field"
+                f.fname;
+              acc
+            end
+            else acc @ [ (f.fname, f.fty) ])
+          base.ci_fields td.fields
+      in
+      (* new methods *)
+      let methods =
+        List.fold_left
+          (fun acc (md : method_decl) ->
+            if List.mem_assoc md.mname acc then begin
+              err md.mpos "method %s already exists (use OVERRIDES)" md.mname;
+              acc
+            end
+            else
+              acc
+              @ [
+                  ( md.mname,
+                    {
+                      mi_name = md.mname;
+                      mi_params = md.mparams;
+                      mi_ret = md.mret;
+                      mi_impl = md.mimpl;
+                      mi_pragma = md.mpragma;
+                      mi_origin = td.tname;
+                    } );
+                ])
+          base.ci_methods td.methods
+      in
+      (* overrides replace implementations *)
+      let methods =
+        List.fold_left
+          (fun acc (od : override_decl) ->
+            match List.assoc_opt od.oname acc with
+            | None ->
+              err od.opos "override of unknown method %s" od.oname;
+              acc
+            | Some mi ->
+              let pragma =
+                match od.opragma with Some p -> Some p | None -> mi.mi_pragma
+              in
+              List.map
+                (fun (n, m) ->
+                  if n = od.oname then
+                    (n, { mi with mi_impl = od.oimpl; mi_pragma = pragma })
+                  else (n, m))
+                acc)
+          methods td.overrides
+      in
+      let ci =
+        { ci_name = td.tname; ci_super = td.super; ci_fields = fields;
+          ci_methods = methods }
+      in
+      Hashtbl.replace classes td.tname ci;
+      ci
+  in
+  List.iter (fun td -> ignore (build td)) m.types;
+  classes
+
+(* ------------------------------------------------------------------ *)
+(* Expression and statement checking                                   *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  env : env;
+  locals : (string, ty) Hashtbl.t;  (** params, locals, FOR variables *)
+  ret : ty option;  (** enclosing procedure's return type *)
+}
+
+let builtin_procs = [ "Print" ]
+
+let rec valid_ty env epos = function
+  | Tobj n when not (Hashtbl.mem env.classes n) ->
+    fatal epos "unknown type %s" n
+  | Tarray (lo, hi, t) ->
+    if lo > hi then fatal epos "empty array range [%d..%d]" lo hi;
+    valid_ty env epos t
+  | Tint | Tbool | Ttext | Tobj _ -> ()
+
+let rec check_expr sc e : ety =
+  let env = sc.env in
+  let t =
+    match e.desc with
+    | Int _ -> Known Tint
+    | Bool _ -> Known Tbool
+    | Text _ -> Known Ttext
+    | Nil -> Nil_ty
+    | Var x -> (
+      match Hashtbl.find_opt sc.locals x with
+      | Some t -> Known t
+      | None -> (
+        match Hashtbl.find_opt env.globals x with
+        | Some t ->
+          e.note.is_global <- true;
+          Known t
+        | None -> fatal e.pos "unknown variable %s" x))
+    | Field (b, f) -> (
+      match check_expr sc b with
+      | Known (Tobj cls) -> (
+        match lookup_field env cls f with
+        | Some t -> Known t
+        | None -> fatal e.pos "type %s has no field %s" cls f)
+      | t -> fatal e.pos "field access on non-object value of type %a" pp_ety t)
+    | Index (b, i) -> (
+      match check_expr sc b with
+      | Known (Tarray (_, _, elem)) ->
+        require sc Tint i;
+        Known elem
+      | t -> fatal e.pos "subscript on non-array value of type %a" pp_ety t)
+    | New cls ->
+      if not (Hashtbl.mem env.classes cls) then
+        fatal e.pos "NEW of unknown type %s" cls;
+      Known (Tobj cls)
+    | Call (Cproc "Print", args) ->
+      (* builtin: accepts any number of arguments of any type, returns
+         nothing, and is never incremental *)
+      List.iter (fun a -> ignore (check_value_expr sc a)) args;
+      e.note.tracked <- false;
+      raise (Proper_call e.pos)
+    | Call (Cproc p, args) -> (
+      match Hashtbl.find_opt env.procs p with
+      | None -> fatal e.pos "unknown procedure %s" p
+      | Some pd ->
+        check_args sc e.pos p pd.params args;
+        (match pd.ret with
+        | Some t -> Known t
+        | None -> raise (Proper_call e.pos)))
+    | Call (Cmethod (o, mname), args) -> (
+      match check_expr sc o with
+      | Known (Tobj cls) -> (
+        match lookup_method env cls mname with
+        | None -> fatal e.pos "type %s has no method %s" cls mname
+        | Some mi ->
+          check_args sc e.pos (cls ^ "." ^ mname) mi.mi_params args;
+          (match mi.mi_ret with
+          | Some t -> Known t
+          | None -> raise (Proper_call e.pos)))
+      | t -> fatal e.pos "method call on non-object value of type %a" pp_ety t)
+    | Binop (op, a, b) -> check_binop sc e.pos op a b
+    | Unop (Neg, a) ->
+      require sc Tint a;
+      Known Tint
+    | Unop (Not, a) ->
+      require sc Tbool a;
+      Known Tbool
+    | Unchecked a -> check_expr sc a
+  in
+  (match t with Known ty -> e.note.ty <- Some ty | Nil_ty -> ());
+  t
+
+and check_args sc epos what params args =
+  if List.length params <> List.length args then
+    fatal epos "%s expects %d argument(s), got %d" what (List.length params)
+      (List.length args);
+  List.iter2
+    (fun (pname, pty) arg ->
+      let at = check_expr sc arg in
+      if not (subsumes sc.env ~expected:pty at) then
+        fatal arg.pos "argument %s of %s expects %a, got %a" pname what pp_ty
+          pty pp_ety at)
+    params args
+
+and require sc ty e =
+  let t = check_expr sc e in
+  if not (subsumes sc.env ~expected:ty t) then
+    fatal e.pos "expected %a, got %a" pp_ty ty pp_ety t
+
+and check_binop sc epos op a b =
+  match op with
+  | Add | Sub | Mul | Div | Mod ->
+    require sc Tint a;
+    require sc Tint b;
+    Known Tint
+  | Cat ->
+    require sc Ttext a;
+    require sc Ttext b;
+    Known Ttext
+  | And | Or ->
+    require sc Tbool a;
+    require sc Tbool b;
+    Known Tbool
+  | Lt | Le | Gt | Ge ->
+    require sc Tint a;
+    require sc Tint b;
+    Known Tbool
+  | Eq | Ne -> (
+    let ta = check_expr sc a and tb = check_expr sc b in
+    match (ta, tb) with
+    | Nil_ty, Nil_ty -> Known Tbool
+    | Nil_ty, Known (Tobj _) | Known (Tobj _), Nil_ty -> Known Tbool
+    | Known (Tobj x), Known (Tobj y)
+      when is_subclass sc.env x y || is_subclass sc.env y x ->
+      Known Tbool
+    | Known x, Known y when x = y -> Known Tbool
+    | _ -> fatal epos "incomparable types %a and %a" pp_ety ta pp_ety tb)
+
+(* A call used for its value must return one; a call used as a statement
+   may be proper or value-returning (the value is discarded). *)
+and check_value_expr sc e =
+  match check_expr sc e with
+  | t -> t
+  | exception Proper_call p ->
+    fatal p "proper procedure call used where a value is required"
+
+let rec check_stmt sc s =
+  match s.sdesc with
+  | Assign (d, e) -> (
+    match d.desc with
+    | Var x ->
+      let dt =
+        match Hashtbl.find_opt sc.locals x with
+        | Some t -> t
+        | None -> (
+          match Hashtbl.find_opt sc.env.globals x with
+          | Some t ->
+            d.note.is_global <- true;
+            t
+          | None -> fatal d.pos "unknown variable %s" x)
+      in
+      (match dt with
+      | Tarray _ ->
+        fatal s.spos "arrays cannot be assigned as a whole; assign elements"
+      | Tint | Tbool | Ttext | Tobj _ -> ());
+      d.note.ty <- Some dt;
+      let et = check_value_expr sc e in
+      if not (subsumes sc.env ~expected:dt et) then
+        fatal s.spos "cannot assign %a to %s : %a" pp_ety et x pp_ty dt
+    | Field (b, f) -> (
+      match check_value_expr sc b with
+      | Known (Tobj cls) -> (
+        match lookup_field sc.env cls f with
+        | None -> fatal d.pos "type %s has no field %s" cls f
+        | Some ft ->
+          (match ft with
+          | Tarray _ ->
+            fatal s.spos
+              "arrays cannot be assigned as a whole; assign elements"
+          | Tint | Tbool | Ttext | Tobj _ -> ());
+          d.note.ty <- Some ft;
+          let et = check_value_expr sc e in
+          if not (subsumes sc.env ~expected:ft et) then
+            fatal s.spos "cannot assign %a to field %s : %a" pp_ety et f pp_ty
+              ft)
+      | t -> fatal d.pos "field assignment on non-object of type %a" pp_ety t)
+    | Index (b, i) -> (
+      match check_value_expr sc b with
+      | Known (Tarray (_, _, elem)) ->
+        require sc Tint i;
+        (match elem with
+        | Tarray _ ->
+          fatal s.spos
+            "arrays cannot be assigned as a whole; assign elements"
+        | Tint | Tbool | Ttext | Tobj _ -> ());
+        d.note.ty <- Some elem;
+        let et = check_value_expr sc e in
+        if not (subsumes sc.env ~expected:elem et) then
+          fatal s.spos "cannot assign %a to element of %a" pp_ety et pp_ty elem
+      | t -> fatal d.pos "subscript assignment on non-array of type %a" pp_ety t)
+    | _ -> fatal d.pos "left side of := must be a variable, field or element")
+  | Call_stmt e -> (
+    match e.desc with
+    | Call _ -> ( match check_expr sc e with _ -> () | exception Proper_call _ -> ())
+    | _ -> fatal s.spos "expression is not a statement")
+  | If (branches, els) ->
+    List.iter
+      (fun (c, body) ->
+        require sc Tbool c;
+        List.iter (check_stmt sc) body)
+      branches;
+    List.iter (check_stmt sc) els
+  | While (c, body) ->
+    require sc Tbool c;
+    List.iter (check_stmt sc) body
+  | Repeat (body, c) ->
+    List.iter (check_stmt sc) body;
+    require sc Tbool c
+  | For (v, lo, hi, body) ->
+    require sc Tint lo;
+    require sc Tint hi;
+    let shadowed = Hashtbl.find_opt sc.locals v in
+    Hashtbl.replace sc.locals v Tint;
+    List.iter (check_stmt sc) body;
+    (match shadowed with
+    | Some t -> Hashtbl.replace sc.locals v t
+    | None -> Hashtbl.remove sc.locals v)
+  | Return None ->
+    if sc.ret <> None then fatal s.spos "RETURN without a value"
+  | Return (Some e) -> (
+    match sc.ret with
+    | None -> fatal s.spos "RETURN with a value in a proper procedure"
+    | Some t ->
+      let et = check_value_expr sc e in
+      if not (subsumes sc.env ~expected:t et) then
+        fatal s.spos "RETURN of %a, expected %a" pp_ety et pp_ty t)
+
+(* ------------------------------------------------------------------ *)
+(* Declaration checking                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_proc env (p : proc_decl) =
+  let locals = Hashtbl.create 8 in
+  List.iter
+    (fun (n, t) ->
+      valid_ty env p.ppos t;
+      if Hashtbl.mem locals n then fatal p.ppos "duplicate parameter %s" n;
+      Hashtbl.add locals n t)
+    p.params;
+  let sc = { env; locals; ret = p.ret } in
+  List.iter
+    (fun l ->
+      valid_ty env l.lpos l.lty;
+      if Hashtbl.mem locals l.lname then
+        fatal l.lpos "duplicate local %s" l.lname;
+      (match l.linit with
+      | Some e ->
+        let t = check_value_expr sc e in
+        if not (subsumes env ~expected:l.lty t) then
+          fatal l.lpos "initializer of %s has type %a, expected %a" l.lname
+            pp_ety t pp_ty l.lty
+      | None -> ());
+      Hashtbl.add locals l.lname l.lty)
+    p.locals;
+  List.iter (check_stmt sc) p.body;
+  (* cached procedures must return a value (we cache results, §3.3) *)
+  match p.ppragma with
+  | Some (Cached _) when p.ret = None ->
+    fatal p.ppos "(*CACHED*) procedure %s must return a value" p.pname
+  | Some (Maintained _) ->
+    fatal p.ppos
+      "(*MAINTAINED*) belongs on methods and overrides, not procedures (%s)"
+      p.pname
+  | _ -> ()
+
+(* The implementing procedure of a method must take the receiver as its
+   first parameter — typed as the declaring class or a superclass — then
+   the declared parameters, and return the declared type. *)
+let check_method_impl env cls (mi : method_info) epos =
+  match Hashtbl.find_opt env.procs mi.mi_impl with
+  | None -> fatal epos "method %s.%s implemented by unknown procedure %s" cls
+              mi.mi_name mi.mi_impl
+  | Some pd -> (
+    (match pd.params with
+    | (_, Tobj recv) :: rest ->
+      if not (is_subclass env cls recv) then
+        fatal epos
+          "receiver of %s has type %s, which is not a superclass of %s"
+          mi.mi_impl recv cls;
+      if List.map snd rest <> List.map snd mi.mi_params then
+        fatal epos "procedure %s does not match the parameters of method %s.%s"
+          mi.mi_impl cls mi.mi_name
+    | _ ->
+      fatal epos "procedure %s must take the receiver as first parameter"
+        mi.mi_impl);
+    if pd.ret <> mi.mi_ret then
+      fatal epos "procedure %s does not match the return type of method %s.%s"
+        mi.mi_impl cls mi.mi_name)
+
+let check (m : module_) : (env, error list) result =
+  let errors = ref [] in
+  let classes = build_classes errors m in
+  let procs = Hashtbl.create 16 in
+  let globals = Hashtbl.create 16 in
+  let env = { classes; procs; globals; m } in
+  (try
+     List.iter
+       (fun (p : proc_decl) ->
+         if List.mem p.pname builtin_procs then
+           fatal p.ppos "procedure %s shadows a builtin" p.pname;
+         if Hashtbl.mem procs p.pname then
+           fatal p.ppos "duplicate procedure %s" p.pname;
+         Hashtbl.add procs p.pname p)
+       m.procs;
+     List.iter
+       (fun g ->
+         valid_ty env g.gpos g.gty;
+         if Hashtbl.mem globals g.gname then
+           fatal g.gpos "duplicate global %s" g.gname;
+         Hashtbl.add globals g.gname g.gty)
+       m.globals;
+     (* field types valid *)
+     Hashtbl.iter
+       (fun _ ci ->
+         List.iter (fun (_, t) -> valid_ty env no_pos t) ci.ci_fields)
+       classes;
+     (* method implementations *)
+     List.iter
+       (fun td ->
+         match Hashtbl.find_opt classes td.tname with
+         | None -> ()
+         | Some ci ->
+           List.iter
+             (fun (_, mi) -> check_method_impl env td.tname mi td.tpos)
+             ci.ci_methods)
+       m.types;
+     (* global initializers *)
+     let gsc = { env; locals = Hashtbl.create 1; ret = None } in
+     List.iter
+       (fun g ->
+         match g.ginit with
+         | None -> ()
+         | Some e ->
+           let t = check_value_expr gsc e in
+           if not (subsumes env ~expected:g.gty t) then
+             fatal g.gpos "initializer of %s has type %a, expected %a" g.gname
+               pp_ety t pp_ty g.gty)
+       m.globals;
+     (* procedure bodies *)
+     List.iter (check_proc env) m.procs;
+     (* module body *)
+     let sc = { env; locals = Hashtbl.create 8; ret = None } in
+     List.iter (check_stmt sc) m.main
+   with Fatal e -> errors := e :: !errors);
+  match !errors with [] -> Ok env | es -> Error (List.rev es)

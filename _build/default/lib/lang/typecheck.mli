@@ -1,0 +1,59 @@
+(** Type checker for Alphonse-L.
+
+    Builds the class table (fields and methods with inheritance and
+    overrides applied), checks every procedure body and the module body,
+    and fills the AST [note] fields the interpreters and the §6.1
+    analysis rely on ([ty], [is_global]).
+
+    Pragma obligations checked here: [(*CACHED*)] only on value-returning
+    procedures, [(*MAINTAINED*)] only on methods/overrides, and
+    implementing procedures signature-compatible with their method
+    declarations (receiver first). The semantic restrictions DET/TOP/OBS
+    of §3.5 remain, as in the paper, the programmer's proof obligation. *)
+
+type method_info = {
+  mi_name : string;
+  mi_params : (string * Ast.ty) list;  (** excluding the receiver *)
+  mi_ret : Ast.ty option;
+  mi_impl : string;  (** implementing procedure for this class *)
+  mi_pragma : Ast.pragma option;  (** effective pragma, overrides applied *)
+  mi_origin : string;  (** class that introduced the method *)
+}
+
+type class_info = {
+  ci_name : string;
+  ci_super : string option;
+  ci_fields : (string * Ast.ty) list;  (** inherited first, in order *)
+  ci_methods : (string * method_info) list;  (** overrides applied *)
+}
+
+type env = {
+  classes : (string, class_info) Hashtbl.t;
+  procs : (string, Ast.proc_decl) Hashtbl.t;
+  globals : (string, Ast.ty) Hashtbl.t;
+  m : Ast.module_;
+}
+(** The checked module: the symbol tables plus the (note-annotated)
+    tree. *)
+
+type error = { msg : string; epos : Ast.pos }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Ast.module_ -> (env, error list) result
+(** Check a parsed module. On success the module's [note] fields are
+    filled; on failure at least one positioned error is returned. *)
+
+(** {1 Queries over a checked module} *)
+
+val class_info : env -> string -> class_info option
+val is_subclass : env -> string -> string -> bool
+(** [is_subclass env sub super] — reflexive, transitive. *)
+
+val lookup_method : env -> string -> string -> method_info option
+(** Method lookup on a (runtime) class, inheritance applied. *)
+
+val lookup_field : env -> string -> string -> Ast.ty option
+
+val builtin_procs : string list
+(** Names reserved for builtins ([Print]). *)

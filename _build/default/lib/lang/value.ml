@@ -1,0 +1,72 @@
+(** Runtime values of Alphonse-L, shared by the conventional interpreter
+    ({!Interp}) and the instrumented incremental interpreter
+    ([Transform.Incr_interp]). Objects have identity ([oid]) and mutable
+    field slots; pointers are well-behaved (§3.1): they are only created
+    by [NEW], dereferenced, and assigned. *)
+
+type value =
+  | VInt of int
+  | VBool of bool
+  | VText of string
+  | VNil
+  | VObj of obj
+  | VArr of arr
+
+and obj = {
+  oid : int;
+  cls : string;  (** runtime class, for method dispatch *)
+  fields : (string, value ref) Hashtbl.t;
+}
+
+and arr = {
+  aid : int;
+  lo : int;
+  hi : int;
+  elems : value ref array;
+}
+
+(** Structural equality with object identity — the change test of
+    Algorithm 4 and the function-caching key equality of §4.2. *)
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | VText x, VText y -> x = y
+  | VNil, VNil -> true
+  | VObj x, VObj y -> x.oid = y.oid
+  | VArr x, VArr y -> x.aid = y.aid
+  | (VInt _ | VBool _ | VText _ | VNil | VObj _ | VArr _), _ -> false
+
+let hash = function
+  | VInt x -> Hashtbl.hash (0, x)
+  | VBool x -> Hashtbl.hash (1, x)
+  | VText x -> Hashtbl.hash (2, x)
+  | VNil -> 3
+  | VObj o -> Hashtbl.hash (4, o.oid)
+  | VArr a -> Hashtbl.hash (5, a.aid)
+
+let equal_list xs ys =
+  List.length xs = List.length ys && List.for_all2 equal xs ys
+
+let hash_list xs = Hashtbl.hash (List.map hash xs)
+
+(** How [Print] renders a value. *)
+let rec pp ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VBool b -> Fmt.string ppf (if b then "TRUE" else "FALSE")
+  | VText s -> Fmt.string ppf s
+  | VNil -> Fmt.string ppf "NIL"
+  | VObj o -> Fmt.pf ppf "%s#%d" o.cls o.oid
+  | VArr a -> Fmt.pf ppf "ARRAY[%d..%d]#%d" a.lo a.hi a.aid
+
+and to_string v = Fmt.str "%a" pp v
+
+(** Default value for a declared scalar or pointer type (paper-style zero
+    initialization). Array storage is allocated by the interpreters, which
+    own the identity counter. *)
+let default_of = function
+  | Ast.Tint -> VInt 0
+  | Ast.Tbool -> VBool false
+  | Ast.Ttext -> VText ""
+  | Ast.Tobj _ -> VNil
+  | Ast.Tarray _ -> invalid_arg "Value.default_of: arrays are allocated" 

@@ -1,0 +1,45 @@
+(** Runtime values of Alphonse-L, shared by the conventional interpreter
+    ({!Interp}) and the instrumented incremental interpreter
+    ([Transform.Incr_interp]). Objects and arrays have identity; scalars
+    are immutable. *)
+
+type value =
+  | VInt of int
+  | VBool of bool
+  | VText of string
+  | VNil
+  | VObj of obj
+  | VArr of arr
+
+and obj = {
+  oid : int;  (** allocation identity *)
+  cls : string;  (** runtime class, for method dispatch *)
+  fields : (string, value ref) Hashtbl.t;
+}
+
+and arr = {
+  aid : int;  (** allocation identity *)
+  lo : int;
+  hi : int;
+  elems : value ref array;  (** index [i] lives at [elems.(i - lo)] *)
+}
+
+val equal : value -> value -> bool
+(** Structural on scalars, identity on objects and arrays — the change
+    test of Algorithm 4 and the argument-table key equality of §4.2. *)
+
+val hash : value -> int
+(** Consistent with {!equal}. *)
+
+val equal_list : value list -> value list -> bool
+val hash_list : value list -> int
+
+val pp : Format.formatter -> value -> unit
+(** How [Print] renders a value. *)
+
+val to_string : value -> string
+
+val default_of : Ast.ty -> value
+(** Zero/[NIL]/[""] default for scalar and pointer types.
+    @raise Invalid_argument on array types — array storage is allocated
+    by the interpreters, which own the identity counter. *)

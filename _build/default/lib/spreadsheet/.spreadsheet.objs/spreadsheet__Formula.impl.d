@@ -1,0 +1,1 @@
+lib/spreadsheet/formula.ml: Char Float Fmt List String

@@ -1,0 +1,1 @@
+lib/spreadsheet/formula.mli: Format

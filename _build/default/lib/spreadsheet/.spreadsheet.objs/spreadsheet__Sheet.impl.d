@@ -1,0 +1,1 @@
+lib/spreadsheet/sheet.ml: Alphonse Array Buffer Float Fmt Formula Hashtbl List String

@@ -1,0 +1,1 @@
+lib/spreadsheet/sheet.mli: Alphonse Format Formula

@@ -1,0 +1,80 @@
+(** The spreadsheet of paper §7.2: sparse cells whose values are
+    maintained methods over formula trees, with cell references reading
+    other cells' maintained values (the [CellExp] operation).
+
+    Editing a cell re-executes exactly the instances that (transitively)
+    referenced it. Circular references are surfaced as [Error Cycle]
+    values; under the default [Demand] strategy this matches
+    {!exhaustive_value} exactly, while [Eager] evaluation on a cyclic
+    sheet may instead quiesce at a consistent fixpoint of the circular
+    equations (outside the paper's DET contract — see DESIGN.md). *)
+
+type cell_error =
+  | Cycle
+  | Parse of string
+  | Div_by_zero
+  | Bad_arg  (** e.g. SQRT of a negative, AVG over an empty range *)
+
+type value =
+  | Empty
+  | Num of float
+  | Error of cell_error
+
+val pp_value : Format.formatter -> value -> unit
+val pp_error : Format.formatter -> cell_error -> unit
+
+type content =
+  | Blank
+  | Const of float
+  | Formula of Formula.expr * string  (** parsed expression, source text *)
+  | Invalid of string * string  (** unparsable input and its error *)
+
+type t
+(** A sheet (with its own private engine). *)
+
+val create :
+  ?strategy:Alphonse.Engine.strategy -> ?partitioning:bool -> unit -> t
+
+val engine : t -> Alphonse.Engine.t
+
+(** {1 Editing} *)
+
+val set : t -> string -> string -> unit
+(** [set t "B2" input] — [""] clears, ["=…"] is a formula, numeric text
+    is a constant, anything else becomes a parse-error value. *)
+
+val set_raw : t -> int * int -> string -> unit
+(** Like {!set} with a coordinate instead of a name. *)
+
+val set_const : t -> int * int -> float -> unit
+val set_formula : t -> int * int -> Formula.expr -> unit
+val clear : t -> int * int -> unit
+
+(** {1 Reading} *)
+
+val value : t -> int * int -> value
+(** The cell's maintained value; recomputes only what pending edits
+    invalidated. *)
+
+val value_at : t -> string -> value
+(** {!value} by cell name. *)
+
+val content : t -> int * int -> content
+
+val recalc_all : t -> int
+(** Force every materialized cell current; returns how many were
+    visited. *)
+
+val coords : t -> (int * int) list
+(** Coordinates of all materialized cells (referenced or written). *)
+
+val render : t -> string
+(** The bounding box of materialized cells as an aligned text grid with
+    A/B/C column headers and 1-based row numbers; values are brought
+    current first. *)
+
+(** {1 Oracle} *)
+
+val exhaustive_value : t -> int * int -> value
+(** From-scratch evaluation with no caching, cycles detected with a
+    visited set — the conventional execution of the sheet program. *)

@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Analysis Incr_interp

@@ -1,0 +1,1 @@
+lib/transform/analysis.ml: Depgraph Fmt Hashtbl Lang List Option Queue

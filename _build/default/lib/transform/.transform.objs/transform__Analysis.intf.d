@@ -1,0 +1,1 @@
+lib/transform/analysis.mli: Format Hashtbl Lang

@@ -1,0 +1,1 @@
+lib/transform/incr_interp.ml: Alphonse Analysis Array Buffer Depgraph Fmt Hashtbl Lang List Option

@@ -1,0 +1,1 @@
+lib/transform/incr_interp.mli: Alphonse Analysis Depgraph Hashtbl Lang

@@ -1,0 +1,55 @@
+(** Static analysis for the Alphonse transformation.
+
+    {b Limiting runtime checks (§6.1).} {!analyze} computes which program
+    sites need the access/modify/call instrumentation at all, by a
+    reachability fixed point over the call graph seeded at the
+    incremental procedures (method calls resolve to every override in the
+    static receiver's subtree). Locals and parameters are never
+    instrumented (stack storage, per the TOP restriction); a global or
+    field is instrumented only if reachable incremental code may touch
+    it; a call site only if its resolved target may carry a pragma. The
+    results are written into the AST [note] fields that
+    {!Incr_interp} and [Lang.Pretty.pp_module ~marks:true] consult.
+
+    {b Static graph partitioning (§6.3).} {!connectivity} reports the
+    connected components of the type connectivity graph — the static
+    partition seed the paper describes; the engine's dynamic union–find
+    refinement subsumes it for correctness. *)
+
+type site_stats = {
+  tracked_reads : int;
+  untracked_reads : int;
+  tracked_writes : int;
+  untracked_writes : int;
+  tracked_calls : int;
+  untracked_calls : int;
+}
+
+type result = {
+  incremental_procs : (string, Lang.Ast.pragma) Hashtbl.t;
+      (** implementing procedure ↦ its effective pragma *)
+  reachable_procs : (string, unit) Hashtbl.t;
+      (** procedures reachable from incremental code (including it) *)
+  tracked_globals : (string, unit) Hashtbl.t;
+  tracked_fields : (string, unit) Hashtbl.t;
+  arrays_tracked : bool;
+      (** reachable incremental code subscripts some array (coarse:
+          elements are not distinguished per array) *)
+  stats : site_stats;
+}
+
+val analyze : Lang.Typecheck.env -> result
+(** Run the analysis and mark every site note in the module. *)
+
+val pp_stats : Format.formatter -> site_stats -> unit
+
+val connectivity : Lang.Typecheck.env -> result -> (string * int) list
+(** Static partition components over ["type:T"], ["global:g"] and
+    ["proc:p"] members; equal ids mean one component. Sorted by name. *)
+
+val dispatch_targets :
+  Lang.Typecheck.env -> string -> string -> Lang.Typecheck.method_info list
+(** Every implementation a call with the given static receiver class and
+    method name can dispatch to. *)
+
+val method_may_be_incremental : Lang.Typecheck.env -> string -> string -> bool

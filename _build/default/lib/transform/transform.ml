@@ -1,0 +1,13 @@
+(** The Alphonse program transformation (paper §5, §6, §8).
+
+    {!Analysis} performs the static work: identifying incremental
+    procedures, limiting runtime checks (§6.1), and the static
+    connectivity partitioning report (§6.3). {!Incr_interp} is the
+    executable form of the transformed program — the instrumented
+    interpreter realizing the access/modify/call templates against the
+    incremental engine. The display form of the transformation
+    (Algorithm 2) is [Lang.Pretty.pp_module ~marks:true] after
+    {!Analysis.analyze} has filled the site notes. *)
+
+module Analysis = Analysis
+module Incr_interp = Incr_interp

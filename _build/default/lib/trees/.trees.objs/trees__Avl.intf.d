@@ -1,0 +1,1 @@
+lib/trees/avl.mli: Alphonse Itree

@@ -1,0 +1,1 @@
+lib/trees/itree.ml: Alphonse Array Fmt List Random

@@ -1,0 +1,1 @@
+lib/trees/itree.mli: Alphonse Random

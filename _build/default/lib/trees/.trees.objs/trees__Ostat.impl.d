@@ -1,0 +1,1 @@
+lib/trees/ostat.ml: Alphonse Avl Itree

@@ -1,0 +1,1 @@
+lib/trees/ostat.mli: Alphonse Avl

@@ -1,0 +1,226 @@
+(** Self-balancing AVL search trees as an Alphonse program — §7.3,
+    Algorithm 11.
+
+    Insertion and deletion are the {e plain unbalanced} BST algorithms;
+    balancing is a maintained method: [balance t] returns the AVL-balanced
+    subtree equivalent to [t], performing the rotations as tracked writes.
+    Because rotations move subtrees whose heights the method itself reads,
+    a rotation re-dirties the affected [balance] and [height] instances and
+    propagation re-runs them until the structure is quiescent — the paper's
+    off-line {e and} on-line fixpoint. The mutator calls {!rebalance}
+    before searching to get the O(log n) guarantee; arbitrary batches of
+    insertions and deletions may happen between rebalances. *)
+
+module Engine = Alphonse.Engine
+module Var = Alphonse.Var
+module Func = Alphonse.Func
+open Itree
+
+type avl = {
+  forest : Itree.t;
+  root : tree Var.t;
+  balance_fn : (tree, tree) Func.t;
+}
+
+(* The two rotations of Algorithm 11, performed as tracked writes. Each
+   returns the new subtree root. *)
+let rotate_right = function
+  | Nil -> invalid_arg "Avl.rotate_right"
+  | Node t -> (
+    match Var.get t.left with
+    | Nil -> invalid_arg "Avl.rotate_right: no left child"
+    | Node s ->
+      let b = Var.get s.right in
+      Var.set s.right (Node t);
+      Var.set t.left b;
+      Node s)
+
+let rotate_left = function
+  | Nil -> invalid_arg "Avl.rotate_left"
+  | Node t -> (
+    match Var.get t.right with
+    | Nil -> invalid_arg "Avl.rotate_left: no right child"
+    | Node s ->
+      let b = Var.get s.left in
+      Var.set s.left (Node t);
+      Var.set t.right b;
+      Node s)
+
+(* [strategy] applies to the height method only. The balance method is
+   pinned to Demand: eagerly re-executing a procedure whose side effects
+   restructure the very data it navigates violates the paper's OBS
+   restriction (§3.5) — a spurious execution between a rotation and the
+   parent's pointer re-establishment observes the orphaned intermediate
+   state and can commit it. Under demand evaluation every balance call is
+   made by its parent (or the mutator at the root), which stores the
+   returned subtree immediately, so no intermediate state escapes. *)
+let create ?strategy eng =
+  let forest = Itree.create ?strategy eng in
+  let height sub = Func.call (Itree.height_func forest) sub in
+  let diff = function
+    | Nil -> 0
+    | Node n -> height (Var.get n.left) - height (Var.get n.right)
+  in
+  (* Rotation cascade at one node whose children are already AVL. The
+     paper's Algorithm 11 writes this as [RotateRight(t).balance()], a
+     re-entrant call to the still-executing balance(t) instance that its
+     Algorithm 5 answers with the stale cached value; our engine treats
+     re-entrance as a cycle error (it is one on first execution, when no
+     cached value exists), so the cascade is local recursion instead. The
+     dependency tracking is identical: rotations are tracked writes and
+     heights are incremental calls. Terminates because the demoted child
+     is strictly shorter than the input subtree. *)
+  let rec fix sub =
+    match sub with
+    | Nil -> Nil
+    | Node m ->
+      let d = diff sub in
+      if d > 1 then begin
+        (* left-heavy; in the LR case rotate the left child first *)
+        (if diff (Var.get m.left) < 0 then
+           Var.set m.left (rotate_left (Var.get m.left)));
+        match rotate_right sub with
+        | Node s ->
+          Var.set s.right (fix (Var.get s.right));
+          fix (Node s)
+        | Nil -> assert false
+      end
+      else if d < -1 then begin
+        (if diff (Var.get m.right) > 0 then
+           Var.set m.right (rotate_right (Var.get m.right)));
+        match rotate_left sub with
+        | Node s ->
+          Var.set s.left (fix (Var.get s.left));
+          fix (Node s)
+        | Nil -> assert false
+      end
+      else sub
+  in
+  let balance_fn =
+    Func.create eng ~name:"balance" ~strategy:Engine.Demand ~hash_arg:tree_hash
+      ~equal_arg:tree_equal ~equal_result:tree_equal (fun balance t ->
+        match t with
+        | Nil -> Nil
+        | Node n ->
+          Var.set n.left (Func.call balance (Var.get n.left));
+          Var.set n.right (Func.call balance (Var.get n.right));
+          fix t)
+  in
+  {
+    forest;
+    root = Var.create eng ~equal:tree_equal ~name:"avl.root" Nil;
+    balance_fn;
+  }
+
+let engine t = Itree.engine t.forest
+
+(* ------------------------------------------------------------------ *)
+(* Plain BST mutators (exactly the unbalanced algorithms, §7.3)        *)
+(* ------------------------------------------------------------------ *)
+
+let insert t k =
+  let rec go tree =
+    match tree with
+    | Nil -> Itree.node t.forest k
+    | Node n ->
+      if k < n.key then Var.set n.left (go (Var.get n.left))
+      else if k > n.key then Var.set n.right (go (Var.get n.right));
+      (* k = n.key: already present *)
+      tree
+  in
+  Var.set t.root (go (Var.get t.root))
+
+(* Remove and return the minimum node of a non-empty subtree, along with
+   the remaining subtree. *)
+let rec extract_min = function
+  | Nil -> invalid_arg "Avl.extract_min"
+  | Node n -> (
+    match Var.get n.left with
+    | Nil -> (n, Var.get n.right)
+    | Node _ as l ->
+      let m, l' = extract_min l in
+      Var.set n.left l';
+      (m, Node n))
+
+let delete t k =
+  let rec go tree =
+    match tree with
+    | Nil -> Nil
+    | Node n ->
+      if k < n.key then begin
+        Var.set n.left (go (Var.get n.left));
+        tree
+      end
+      else if k > n.key then begin
+        Var.set n.right (go (Var.get n.right));
+        tree
+      end
+      else begin
+        match (Var.get n.left, Var.get n.right) with
+        | Nil, r -> r
+        | l, Nil -> l
+        | l, (Node _ as r) ->
+          (* splice the in-order successor node into n's place *)
+          let m, r' = extract_min r in
+          Var.set m.left l;
+          Var.set m.right r';
+          Node m
+      end
+  in
+  Var.set t.root (go (Var.get t.root))
+
+(* ------------------------------------------------------------------ *)
+(* Maintained balancing and queries                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Re-establish the AVL property. Incremental: only the balance/height
+    instances on paths disturbed since the last call re-execute. *)
+let rebalance t = Var.set t.root (Func.call t.balance_fn (Var.get t.root))
+
+(** Membership after rebalancing: the O(log n) search of §7.3. *)
+let mem t k =
+  rebalance t;
+  let rec go = function
+    | Nil -> false
+    | Node n ->
+      if k < n.key then go (Var.get n.left)
+      else if k > n.key then go (Var.get n.right)
+      else true
+  in
+  go (Var.get t.root)
+
+let root t = Var.get t.root
+let to_list t = Itree.keys (Var.get t.root)
+let size t = Itree.size (Var.get t.root)
+let height t = Itree.height t.forest (Var.get t.root)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checks (tests)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Raw structural height, bypassing the incremental machinery. *)
+let rec check_height = function
+  | Nil -> 0
+  | Node n ->
+    1 + max (check_height (Var.get n.left)) (check_height (Var.get n.right))
+
+(** Every node's children differ in height by at most one. *)
+let rec is_balanced = function
+  | Nil -> true
+  | Node n ->
+    let l = Var.get n.left and r = Var.get n.right in
+    abs (check_height l - check_height r) <= 1
+    && is_balanced l && is_balanced r
+
+(** In-order keys are strictly increasing. *)
+let is_ordered tree =
+  let rec go lo = function
+    | Nil -> lo
+    | Node n ->
+      let lo = go lo (Var.get n.left) in
+      (match lo with
+      | Some prev when prev >= n.key -> raise Exit
+      | _ -> ());
+      go (Some n.key) (Var.get n.right)
+  in
+  match go None tree with _ -> true | exception Exit -> false

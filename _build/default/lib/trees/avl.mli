@@ -1,0 +1,60 @@
+(** Self-balancing AVL search trees as an Alphonse program — §7.3,
+    Algorithm 11.
+
+    Insertion and deletion are the {e plain unbalanced} BST algorithms;
+    balancing is a maintained method: {!rebalance} re-establishes the AVL
+    property incrementally, re-executing only the balance/height
+    instances on paths disturbed since the last call. Arbitrary batches
+    of mutations may happen between rebalances (the paper's off-line and
+    on-line modes).
+
+    The maintained balance method is pinned to [Demand] evaluation: a
+    side-effecting procedure that restructures the data it navigates is
+    not OBS-safe (§3.5) under eager evaluation — see DESIGN.md. *)
+
+type avl
+(** An AVL tree handle (root pointer + the shared maintained methods). *)
+
+val create : ?strategy:Alphonse.Engine.strategy -> Alphonse.Engine.t -> avl
+(** [create engine] is an empty tree. [strategy] applies to the height
+    method only (balance is always demand-evaluated). *)
+
+val engine : avl -> Alphonse.Engine.t
+
+(** {1 Mutators (plain BST algorithms)} *)
+
+val insert : avl -> int -> unit
+(** BST leaf insertion; no balancing. Duplicate keys are ignored. *)
+
+val delete : avl -> int -> unit
+(** BST deletion (successor splice); no balancing. Missing keys are
+    ignored. *)
+
+(** {1 Maintained balancing and queries} *)
+
+val rebalance : avl -> unit
+(** Re-establish the AVL property. Incremental: only instances on
+    disturbed paths re-execute; O(log n) work per preceding insertion. *)
+
+val mem : avl -> int -> bool
+(** Membership after rebalancing — the O(log n) search of §7.3. *)
+
+val root : avl -> Itree.tree
+val to_list : avl -> int list
+(** Sorted key list. *)
+
+val size : avl -> int
+val height : avl -> int
+(** Height via the maintained method (rebalance first for the AVL
+    bound). *)
+
+(** {1 Invariant checks (for tests)} *)
+
+val check_height : Itree.tree -> int
+(** Structural height, bypassing the incremental machinery. *)
+
+val is_balanced : Itree.tree -> bool
+(** AVL invariant: every node's children differ in height by ≤ 1. *)
+
+val is_ordered : Itree.tree -> bool
+(** BST invariant: in-order keys strictly increase. *)

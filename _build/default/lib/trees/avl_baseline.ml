@@ -1,0 +1,125 @@
+(** The "ambitious programmer" baseline of §9: a hand-coded AVL tree with
+    a height field in each node, updated along the insert/delete path with
+    eager rotations. This is the program Alphonse competes against in the
+    E4 benches — intricate, change-aware by construction, and the shape of
+    code the paper argues Alphonse lets you avoid writing. *)
+
+type t =
+  | Nil
+  | Node of node
+
+and node = {
+  key : int;
+  mutable left : t;
+  mutable right : t;
+  mutable height : int;
+}
+
+let height = function Nil -> 0 | Node n -> n.height
+
+let update n = n.height <- 1 + max (height n.left) (height n.right)
+
+let diff = function Nil -> 0 | Node n -> height n.left - height n.right
+
+let rotate_right = function
+  | Node ({ left = Node s; _ } as t) ->
+    t.left <- s.right;
+    s.right <- Node t;
+    update t;
+    update s;
+    Node s
+  | _ -> invalid_arg "Avl_baseline.rotate_right"
+
+let rotate_left = function
+  | Node ({ right = Node s; _ } as t) ->
+    t.right <- s.left;
+    s.left <- Node t;
+    update t;
+    update s;
+    Node s
+  | _ -> invalid_arg "Avl_baseline.rotate_left"
+
+(* Restore the AVL invariant at the root of a subtree whose children are
+   AVL and whose heights are current except possibly at the root. *)
+let rebalance tree =
+  match tree with
+  | Nil -> Nil
+  | Node n ->
+    update n;
+    let d = diff tree in
+    if d > 1 then begin
+      (if diff n.left < 0 then n.left <- rotate_left n.left);
+      rotate_right tree
+    end
+    else if d < -1 then begin
+      (if diff n.right > 0 then n.right <- rotate_right n.right);
+      rotate_left tree
+    end
+    else tree
+
+let rec insert tree k =
+  match tree with
+  | Nil -> Node { key = k; left = Nil; right = Nil; height = 1 }
+  | Node n ->
+    if k < n.key then n.left <- insert n.left k
+    else if k > n.key then n.right <- insert n.right k;
+    rebalance tree
+
+let rec extract_min = function
+  | Nil -> invalid_arg "Avl_baseline.extract_min"
+  | Node n -> (
+    match n.left with
+    | Nil -> (n.key, n.right)
+    | Node _ ->
+      let m, l' = extract_min n.left in
+      n.left <- l';
+      (m, rebalance (Node n)))
+
+let rec delete tree k =
+  match tree with
+  | Nil -> Nil
+  | Node n ->
+    if k < n.key then begin
+      n.left <- delete n.left k;
+      rebalance tree
+    end
+    else if k > n.key then begin
+      n.right <- delete n.right k;
+      rebalance tree
+    end
+    else begin
+      match (n.left, n.right) with
+      | Nil, r -> r
+      | l, Nil -> l
+      | _, r ->
+        let m, r' = extract_min r in
+        let fresh = Node { key = m; left = n.left; right = r'; height = 0 } in
+        rebalance fresh
+    end
+
+let rec mem tree k =
+  match tree with
+  | Nil -> false
+  | Node n -> if k < n.key then mem n.left k
+              else if k > n.key then mem n.right k
+              else true
+
+let to_list tree =
+  let rec go acc = function
+    | Nil -> acc
+    | Node n -> go (n.key :: go acc n.right) n.left
+  in
+  go [] tree
+
+let rec size = function Nil -> 0 | Node n -> 1 + size n.left + size n.right
+
+(* invariant checks, for differential tests against the Alphonse AVL *)
+let rec check_height = function
+  | Nil -> 0
+  | Node n -> 1 + max (check_height n.left) (check_height n.right)
+
+let rec is_balanced = function
+  | Nil -> true
+  | Node n ->
+    abs (check_height n.left - check_height n.right) <= 1
+    && is_balanced n.left && is_balanced n.right

@@ -1,0 +1,35 @@
+(** The "ambitious programmer" baseline of §9: a hand-coded AVL tree with
+    a height field per node, updated along the insert/delete path with
+    eager rotations — the change-aware program the paper argues Alphonse
+    saves you from writing. Used as the E4 comparison and as a
+    differential-testing oracle for {!Avl}. *)
+
+type t =
+  | Nil
+  | Node of node
+
+and node = {
+  key : int;
+  mutable left : t;
+  mutable right : t;
+  mutable height : int;
+}
+
+val height : t -> int
+(** The stored height (0 for [Nil]). *)
+
+val insert : t -> int -> t
+(** Functional-style insertion returning the new root; rebalances along
+    the path. Duplicates are ignored. *)
+
+val delete : t -> int -> t
+(** Deletion returning the new root; rebalances along the path. *)
+
+val mem : t -> int -> bool
+val to_list : t -> int list
+val size : t -> int
+
+val check_height : t -> int
+(** Structural recomputation, ignoring the stored heights. *)
+
+val is_balanced : t -> bool

@@ -1,0 +1,70 @@
+(** Binary trees with tracked child pointers and a maintained [height]
+    method — the paper's Algorithm 1.
+
+    Nodes are heap objects with identity; child pointers are tracked
+    {!Alphonse.Var}s, so pointer surgery by the mutator invalidates
+    exactly the incremental [height] instances on affected paths. A
+    shared [Nil] value plays the role of the paper's [TreeNil] object. *)
+
+type tree =
+  | Nil
+  | Node of node
+
+and node = {
+  id : int;  (** identity, used for hashing and equality *)
+  key : int;  (** payload; doubles as the search key for {!Avl} *)
+  left : tree Alphonse.Var.t;
+  right : tree Alphonse.Var.t;
+}
+
+val tree_equal : tree -> tree -> bool
+(** Identity equality ([Nil] equals only [Nil]; nodes by [id]). *)
+
+val tree_hash : tree -> int
+
+type t
+(** A forest context: an engine, a node allocator, and the maintained
+    [height] method shared by every tree built in it. *)
+
+val create : ?strategy:Alphonse.Engine.strategy -> Alphonse.Engine.t -> t
+(** [create engine] makes a forest whose [height] instances use
+    [strategy] (default: the engine's default). *)
+
+val engine : t -> Alphonse.Engine.t
+
+val node : t -> ?left:tree -> ?right:tree -> int -> tree
+(** Allocate a fresh node with the given key and children. *)
+
+val height : t -> tree -> int
+(** The maintained height: 0 for [Nil], 1 + max of children otherwise.
+    First call on a subtree is O(n); subsequent calls are cache hits and
+    mutations re-execute only affected instances (§3.4). *)
+
+val height_func : t -> (tree, int) Alphonse.Func.t
+(** The underlying incremental procedure, for tests and benches. *)
+
+val height_exhaustive : tree -> int
+(** The exhaustive specification (a full recursive pass, no caching) —
+    the conventional-execution baseline of §9.2. *)
+
+val size : tree -> int
+(** Number of nodes, computed exhaustively. *)
+
+val keys : tree -> int list
+(** In-order key list, computed exhaustively. *)
+
+(** {1 Builders} *)
+
+val perfect : t -> int -> int -> tree
+(** [perfect t lo hi] is a perfectly balanced tree over keys [lo..hi]. *)
+
+val spine : t -> int -> tree
+(** [spine t n] is a degenerate right spine of [n] nodes — worst-case
+    height. *)
+
+val random : t -> rand:Random.State.t -> int -> tree
+(** [random t ~rand n] builds a random binary search tree over keys
+    [0..n-1] by shuffled insertion (expected O(log n) height). *)
+
+val nodes : tree -> node list
+(** All interior nodes in preorder — handy for picking mutation points. *)

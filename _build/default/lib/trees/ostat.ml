@@ -1,0 +1,80 @@
+(** Order-statistic queries over the self-balancing tree: a maintained
+    [size] attribute supporting O(log n) [rank] and [select].
+
+    This is the paper's dynamic-data-structure recipe (§7.3) applied a
+    second time: the exhaustive specification of [size] is the obvious
+    recursive count; declaring it maintained makes insertions and
+    deletions update only the sizes on the affected path, and the
+    rank/select walks read the maintained values. Combined with
+    {!Avl.rebalance}, every query is O(log n). *)
+
+module Engine = Alphonse.Engine
+module Var = Alphonse.Var
+module Func = Alphonse.Func
+open Itree
+
+type t = {
+  avl : Avl.avl;
+  size_fn : (tree, int) Func.t;
+}
+
+let create ?strategy eng =
+  let avl = Avl.create ?strategy eng in
+  let size_fn =
+    Func.create eng ~name:"size" ?strategy ~hash_arg:tree_hash
+      ~equal_arg:tree_equal (fun size t ->
+        match t with
+        | Nil -> 0
+        | Node n ->
+          1
+          + Func.call size (Var.get n.left)
+          + Func.call size (Var.get n.right))
+  in
+  { avl; size_fn }
+
+let engine t = Avl.engine t.avl
+let avl t = t.avl
+
+let insert t k = Avl.insert t.avl k
+let delete t k = Avl.delete t.avl k
+let mem t k = Avl.mem t.avl k
+
+let size t =
+  Avl.rebalance t.avl;
+  Func.call t.size_fn (Avl.root t.avl)
+
+(** [rank t k] is the number of keys strictly smaller than [k]. O(log n)
+    after rebalancing: the walk reads one maintained size per level. *)
+let rank t k =
+  Avl.rebalance t.avl;
+  let rec go acc = function
+    | Nil -> acc
+    | Node n ->
+      if k <= n.key then go acc (Var.get n.left)
+      else
+        go
+          (acc + 1 + Func.call t.size_fn (Var.get n.left))
+          (Var.get n.right)
+  in
+  go 0 (Avl.root t.avl)
+
+(** [select t i] is the [i]-th smallest key (0-based).
+    @raise Not_found if [i] is out of range. *)
+let select t i =
+  Avl.rebalance t.avl;
+  let rec go i = function
+    | Nil -> raise Not_found
+    | Node n ->
+      let ls = Func.call t.size_fn (Var.get n.left) in
+      if i < ls then go i (Var.get n.left)
+      else if i = ls then n.key
+      else go (i - ls - 1) (Var.get n.right)
+  in
+  if i < 0 then raise Not_found;
+  go i (Avl.root t.avl)
+
+(** [median t] is [select t (size/2)], the upper median.
+    @raise Not_found on an empty tree. *)
+let median t = select t (size t / 2)
+
+let to_list t = Avl.to_list t.avl

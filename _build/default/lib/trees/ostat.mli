@@ -1,0 +1,34 @@
+(** Order-statistic queries over the self-balancing tree: a maintained
+    [size] attribute supporting O(log n) {!rank} and {!select} — the
+    §7.3 dynamic-data-structure recipe applied a second time. The
+    exhaustive specification is the obvious recursive count; maintenance
+    keeps path-local sizes current across {!insert}/{!delete}. *)
+
+type t
+
+val create : ?strategy:Alphonse.Engine.strategy -> Alphonse.Engine.t -> t
+val engine : t -> Alphonse.Engine.t
+
+val avl : t -> Avl.avl
+(** The underlying AVL tree (shared: mutations through either view are
+    seen by both). *)
+
+val insert : t -> int -> unit
+val delete : t -> int -> unit
+val mem : t -> int -> bool
+
+val size : t -> int
+(** Number of keys, via the maintained size attribute. *)
+
+val rank : t -> int -> int
+(** [rank t k] is the number of keys strictly smaller than [k]; [k] need
+    not be present. O(log n). *)
+
+val select : t -> int -> int
+(** [select t i] is the [i]-th smallest key, 0-based. O(log n).
+    @raise Not_found if [i] is out of range. *)
+
+val median : t -> int
+(** The upper median. @raise Not_found on an empty tree. *)
+
+val to_list : t -> int list

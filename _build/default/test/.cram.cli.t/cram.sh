@@ -1,0 +1,11 @@
+  $ alphonsec() { ../bin/alphonsec.exe "$@"; }
+  $ alphonsec samples
+  $ alphonsec check height_tree
+  $ alphonsec run sums_maintained 2>/dev/null
+  $ alphonsec run sums_maintained --conventional 2>/dev/null
+  $ alphonsec compare fib_cached | head -3
+  $ alphonsec transform sums_maintained | grep -E 'access|modify|call' | head -6
+  $ alphonsec analyze sums_maintained | grep -A3 'instrumentation'
+  $ echo 'MODULE M; BEGIN x := 1 END M.' | alphonsec check -
+  $ echo 'MODULE M; BEGIN 1 + END M.' | alphonsec check -
+  $ alphonsec graph sums_maintained | head -4

@@ -1,0 +1,1 @@
+test/test_alphonse.ml: Alcotest Alphonse Array Depgraph Float Fmt List Option QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_attrgram.ml: Alcotest Alphonse Array Attrgram Float Fmt List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Depgraph List QCheck QCheck_alcotest Random Stdlib

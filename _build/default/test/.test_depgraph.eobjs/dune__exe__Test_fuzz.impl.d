@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Alphonse Array Depgraph Fmt Hashtbl Int Lang List QCheck QCheck_alcotest String Transform

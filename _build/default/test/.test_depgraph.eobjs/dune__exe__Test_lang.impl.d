@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Fmt Interp Lang Lexer List Parser Pretty Samples String Typecheck

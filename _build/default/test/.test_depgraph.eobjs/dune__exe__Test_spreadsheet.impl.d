@@ -1,0 +1,1 @@
+test/test_spreadsheet.ml: Alcotest Alphonse Float Fmt Gen List Printf QCheck QCheck_alcotest Random Spreadsheet String

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Alphonse Depgraph Fmt Hashtbl Lang List String Transform

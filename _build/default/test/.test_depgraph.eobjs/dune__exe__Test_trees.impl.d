@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Alphonse Fmt List QCheck QCheck_alcotest Random Trees

@@ -1,0 +1,964 @@
+(* Tests for the Alphonse core: Var/Func/Engine semantics — caching,
+   quiescence propagation, maintained side effects, unchecked, strategies,
+   partitioning, cache replacement, and a randomized equivalence property
+   (Theorem 5.1 for the embedded DSL). *)
+
+module Engine = Alphonse.Engine
+module Var = Alphonse.Var
+module Func = Alphonse.Func
+module Policy = Alphonse.Policy
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let executions eng = (Engine.stats eng).Engine.executions
+
+(* ------------------------------------------------------------------ *)
+(* Basic caching                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_fib () =
+  let eng = Engine.create () in
+  let fib =
+    Func.create eng ~name:"fib" (fun fib n ->
+        if n < 2 then n else Func.call fib (n - 1) + Func.call fib (n - 2))
+  in
+  checki "fib 20" 6765 (Func.call fib 20);
+  (* linear executions thanks to the argument table *)
+  checki "executions" 21 (executions eng);
+  checki "fib 20 again" 6765 (Func.call fib 20);
+  checki "no re-execution" 21 (executions eng);
+  checki "table size" 21 (Func.size fib)
+
+let test_var_recompute_on_change () =
+  let eng = Engine.create () in
+  let a = Var.create eng ~name:"a" 10 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a * 2) in
+  checki "initial" 20 (Func.call f ());
+  checki "one execution" 1 (executions eng);
+  Var.set a 21;
+  checki "after change" 42 (Func.call f ());
+  checki "re-executed once" 2 (executions eng);
+  (* writing an equal value propagates nothing *)
+  Var.set a 21;
+  checki "equal write" 42 (Func.call f ());
+  checki "no spurious execution" 2 (executions eng)
+
+let test_custom_var_equality () =
+  let eng = Engine.create () in
+  let a = Var.create eng ~equal:(fun x y -> abs (x - y) <= 1) 100 in
+  let f = Func.create eng (fun _ () -> Var.get a) in
+  checki "initial" 100 (Func.call f ());
+  Var.set a 101;
+  (* within tolerance: treated as unchanged *)
+  checki "tolerated write cached" 100 (Func.call f ());
+  checki "executions" 1 (executions eng);
+  Var.set a 200;
+  checki "big write recomputes" 200 (Func.call f ())
+
+let test_untracked_var_fast_path () =
+  let eng = Engine.create () in
+  let a = Var.create eng 1 in
+  (* never read inside an incremental procedure: stays untracked *)
+  Var.set a 2;
+  Var.set a 3;
+  checkb "untracked" false (Var.is_tracked a);
+  checki "plain reads work" 3 (Var.get a);
+  let g = Engine.graph_stats eng in
+  checki "no graph nodes" 0 g.Depgraph.Graph.live_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence cutoff: eager vs demand                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a → b → c where b = a/2 absorbs small changes of a. *)
+let chain strategy =
+  let eng = Engine.create ~default_strategy:strategy () in
+  let a = Var.create eng ~name:"a" 4 in
+  let b = Func.create eng ~name:"b" (fun _ () -> Var.get a / 2) in
+  let c = Func.create eng ~name:"c" (fun _ () -> Func.call b () * 10) in
+  (eng, a, c)
+
+let test_eager_cutoff () =
+  let eng, a, c = chain Engine.Eager in
+  checki "initial" 20 (Func.call c ());
+  checki "two first executions" 2 (executions eng);
+  Var.set a 5 (* 5/2 = 2: b's value is unchanged *);
+  checki "cached at c" 20 (Func.call c ());
+  (* quiescence: only b re-executed; propagation stopped there *)
+  checki "only b re-ran" 3 (executions eng);
+  Var.set a 8;
+  checki "change reaches c" 40 (Func.call c ());
+  checki "both re-ran" 5 (executions eng)
+
+let test_demand_no_cutoff () =
+  let eng, a, c = chain Engine.Demand in
+  checki "initial" 20 (Func.call c ());
+  Var.set a 5;
+  checki "still correct" 20 (Func.call c ());
+  (* demand propagation dirties transitively: both b and c re-execute *)
+  checki "both re-ran" 4 (executions eng)
+
+let test_eager_stabilize_precomputes () =
+  let eng = Engine.create ~default_strategy:Engine.Eager () in
+  let runs = ref 0 in
+  let a = Var.create eng 1 in
+  let f =
+    Func.create eng (fun _ () ->
+        incr runs;
+        Var.get a + 1)
+  in
+  checki "initial" 2 (Func.call f ());
+  Var.set a 10;
+  checki "not yet" 1 !runs;
+  Engine.stabilize eng;
+  (* eager evaluation used the available cycles *)
+  checki "recomputed in background" 2 !runs;
+  checki "call is a pure cache hit" 11 (Func.call f ());
+  checki "no extra run" 2 !runs
+
+let test_demand_stabilize_defers () =
+  let eng = Engine.create ~default_strategy:Engine.Demand () in
+  let runs = ref 0 in
+  let a = Var.create eng 1 in
+  let f =
+    Func.create eng (fun _ () ->
+        incr runs;
+        Var.get a + 1)
+  in
+  ignore (Func.call f ());
+  Var.set a 10;
+  Engine.stabilize eng;
+  checki "demand defers work" 1 !runs;
+  checki "call recomputes" 11 (Func.call f ());
+  checki "now re-ran" 2 !runs
+
+(* ------------------------------------------------------------------ *)
+(* Maintained procedures with side effects                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_maintained_write_restored () =
+  let eng = Engine.create () in
+  let src = Var.create eng ~name:"src" 2 in
+  let out = Var.create eng ~name:"out" 0 in
+  (* maintained property: out = src * 2 *)
+  let m =
+    Func.create eng ~name:"maintain-out" (fun _ () ->
+        Var.set out (Var.get src * 2))
+  in
+  Func.call m ();
+  checki "established" 4 (Var.get out);
+  (* the mutator clobbers storage written by the maintained procedure;
+     §4.3: "a subsequent execution of p must have the effect of setting it
+     back" *)
+  Var.set out 999;
+  Func.call m ();
+  checki "restored" 4 (Var.get out);
+  Var.set src 5;
+  Func.call m ();
+  checki "tracks source" 10 (Var.get out)
+
+let test_write_then_read_chain () =
+  let eng = Engine.create () in
+  let src = Var.create eng 1 in
+  let mid = Var.create eng 0 in
+  let m = Func.create eng (fun _ () -> Var.set mid (Var.get src + 1)) in
+  let f =
+    Func.create eng (fun _ () ->
+        Func.call m ();
+        Var.get mid * 10)
+  in
+  checki "composed" 20 (Func.call f ());
+  Var.set src 7;
+  checki "change flows through the written cell" 80 (Func.call f ())
+
+(* ------------------------------------------------------------------ *)
+(* Cycles                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cycle_detection () =
+  let eng = Engine.create () in
+  let f = Func.create eng ~name:"loop" (fun self () -> Func.call self ()) in
+  (match Func.call f () with
+  | _ -> Alcotest.fail "expected Cycle"
+  | exception Engine.Cycle name -> Alcotest.(check string) "name" "loop" name);
+  (* recursion on *distinct* arguments is fine *)
+  let g =
+    Func.create eng ~name:"down" (fun self n ->
+        if n = 0 then 0 else Func.call self (n - 1))
+  in
+  checki "legitimate recursion" 0 (Func.call g 5)
+
+let test_mutual_cycle_detection () =
+  let eng = Engine.create () in
+  let fwd = ref (fun () -> 0) in
+  let f = Func.create eng ~name:"f" (fun _ () -> !fwd ()) in
+  let g = Func.create eng ~name:"g" (fun _ () -> Func.call f ()) in
+  (fwd := fun () -> Func.call g ());
+  checkb "mutual cycle raises" true
+    (match Func.call f () with
+    | _ -> false
+    | exception Engine.Cycle _ -> true)
+
+let test_exception_retry () =
+  let eng = Engine.create () in
+  let boom = ref true in
+  let a = Var.create eng 3 in
+  let f =
+    Func.create eng (fun _ () ->
+        if !boom then failwith "boom";
+        Var.get a)
+  in
+  checkb "raises" true
+    (match Func.call f () with _ -> false | exception Failure _ -> true);
+  boom := false;
+  checki "retry succeeds" 3 (Func.call f ());
+  Var.set a 4;
+  checki "still live" 4 (Func.call f ())
+
+(* ------------------------------------------------------------------ *)
+(* Unchecked (§6.4)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_unchecked_prunes_dependencies () =
+  let eng = Engine.create () in
+  let path = Array.init 8 (fun i -> Var.create eng ~name:(Fmt.str "p%d" i) i) in
+  let target = Var.create eng ~name:"target" 100 in
+  let lookup =
+    Func.create eng ~name:"lookup" (fun _ () ->
+        (* the "search path" does not affect the result; the programmer
+           asserts it with unchecked *)
+        let _walk =
+          Engine.unchecked eng (fun () ->
+              Array.fold_left (fun acc v -> acc + Var.get v) 0 path)
+        in
+        Var.get target)
+  in
+  checki "initial" 100 (Func.call lookup ());
+  Var.set path.(3) 999;
+  checki "path change absorbed" 100 (Func.call lookup ());
+  checki "no re-execution" 1 (executions eng);
+  Var.set target 7;
+  checki "real dependency still live" 7 (Func.call lookup ());
+  checki "re-executed for target" 2 (executions eng)
+
+let test_checked_control_group () =
+  let eng = Engine.create () in
+  let path = Array.init 8 (fun i -> Var.create eng i) in
+  let target = Var.create eng 100 in
+  let lookup =
+    Func.create eng (fun _ () ->
+        let _walk = Array.fold_left (fun acc v -> acc + Var.get v) 0 path in
+        Var.get target)
+  in
+  checki "initial" 100 (Func.call lookup ());
+  Var.set path.(3) 999;
+  checki "still correct" 100 (Func.call lookup ());
+  checki "but re-executed" 2 (executions eng)
+
+(* ------------------------------------------------------------------ *)
+(* Cache replacement (§3.3 pragma arguments)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_eviction () =
+  let eng = Engine.create () in
+  let runs = ref 0 in
+  let f =
+    Func.create eng ~policy:(Policy.Lru 3) (fun _ n ->
+        incr runs;
+        n * n)
+  in
+  List.iter (fun n -> ignore (Func.call f n)) [ 1; 2; 3; 4; 5 ];
+  checki "capacity respected" 3 (Func.size f);
+  checki "five first runs" 5 !runs;
+  (* 1 was evicted: calling it recomputes *)
+  checki "evicted recomputes" 1 (Func.call f 1);
+  checki "recomputation happened" 6 !runs;
+  (* 5 was just used; still cached *)
+  ignore (Func.call f 5);
+  checki "recent entry cached" 6 !runs;
+  checki "evictions counted" 3 (Engine.stats eng).Engine.evictions
+
+let test_lru_recency_order () =
+  let eng = Engine.create () in
+  let runs = ref 0 in
+  let f =
+    Func.create eng ~policy:(Policy.Lru 2) (fun _ n ->
+        incr runs;
+        n)
+  in
+  ignore (Func.call f 1);
+  ignore (Func.call f 2);
+  ignore (Func.call f 1) (* touch 1: now 2 is least recent *);
+  ignore (Func.call f 3) (* evicts 2 *);
+  checki "before" 3 !runs;
+  ignore (Func.call f 1);
+  checki "1 still cached" 3 !runs;
+  ignore (Func.call f 2);
+  checki "2 was evicted" 4 !runs
+
+let test_eviction_soundness () =
+  let eng = Engine.create () in
+  let inner = Func.create eng ~policy:(Policy.Lru 1) (fun _ n -> n + 1) in
+  let outer = Func.create eng (fun _ n -> Func.call inner n * 10) in
+  List.iter (fun n -> ignore (Func.call outer n)) [ 1; 2; 3 ];
+  (* every inner entry has a live dependent: none may be evicted *)
+  checki "inner table kept sound" 3 (Func.size inner);
+  checki "no evictions" 0 (Engine.stats eng).Engine.evictions
+
+let test_fifo_eviction () =
+  let eng = Engine.create () in
+  let runs = ref 0 in
+  let f =
+    Func.create eng ~policy:(Policy.Fifo 2) (fun _ n ->
+        incr runs;
+        n)
+  in
+  ignore (Func.call f 1);
+  ignore (Func.call f 2);
+  ignore (Func.call f 1) (* FIFO: does not refresh 1 *);
+  ignore (Func.call f 3) (* evicts 1, the oldest insertion *);
+  ignore (Func.call f 1);
+  checki "1 was evicted despite recency" 4 !runs
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning (§6.3)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let independent_pair ~partitioning =
+  let eng = Engine.create ~partitioning () in
+  let a1 = Var.create eng ~name:"a1" 1 in
+  let a2 = Var.create eng ~name:"a2" 1 in
+  let f1 = Func.create eng ~name:"f1" (fun _ () -> Var.get a1 * 10) in
+  let f2 = Func.create eng ~name:"f2" (fun _ () -> Var.get a2 * 100) in
+  ignore (Func.call f1 ());
+  ignore (Func.call f2 ());
+  Engine.reset_stats eng;
+  (eng, a1, f2)
+
+let test_partitioning_isolates () =
+  let eng, a1, f2 = independent_pair ~partitioning:true in
+  Var.set a1 5;
+  checki "f2 unaffected" 100 (Func.call f2 ());
+  let s = Engine.stats eng in
+  checki "no settle work in f2's partition" 0 s.Engine.settle_steps
+
+let test_no_partitioning_forces_global_settle () =
+  let eng, a1, f2 = independent_pair ~partitioning:false in
+  Var.set a1 5;
+  checki "f2 unaffected" 100 (Func.call f2 ());
+  let s = Engine.stats eng in
+  checkb "global settle did work" true (s.Engine.settle_steps > 0)
+
+let test_partitioned_correctness () =
+  (* partitioning must not change results *)
+  let eng = Engine.create ~partitioning:true () in
+  let a = Var.create eng 1 and b = Var.create eng 2 in
+  let f = Func.create eng (fun _ () -> Var.get a + Var.get b) in
+  let g = Func.create eng (fun _ () -> Func.call f () * Var.get b) in
+  checki "initial" 6 (Func.call g ());
+  Var.set b 10;
+  checki "after change" 110 (Func.call g ());
+  Var.set a 0;
+  checki "other var" 100 (Func.call g ())
+
+(* ------------------------------------------------------------------ *)
+(* Static subgraphs (§6.2)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_static_deps_correct () =
+  let eng = Engine.create () in
+  let a = Var.create eng 1 and b = Var.create eng 2 in
+  (* R(p) = {a, b} on every execution: a valid static-subgraph instance *)
+  let f =
+    Func.create eng ~static_deps:true (fun _ () -> Var.get a + Var.get b)
+  in
+  checki "initial" 3 (Func.call f ());
+  let edges_after_first = (Engine.graph_stats eng).Depgraph.Graph.total_edges in
+  for i = 1 to 20 do
+    Var.set a (100 + i);
+    (* b still holds its previous value: 2*(i-1), or the initial 2 *)
+    let b_now = if i = 1 then 2 else 2 * (i - 1) in
+    checki "still correct" (100 + i + b_now) (Func.call f ());
+    Var.set b (2 * i);
+    checki "both deps live" (100 + i + (2 * i)) (Func.call f ())
+  done;
+  let g = Engine.graph_stats eng in
+  checki "edges recorded once, reused verbatim" edges_after_first
+    g.Depgraph.Graph.total_edges;
+  checki "no edge removal churn" 0 g.Depgraph.Graph.removed_edges
+
+let test_dynamic_deps_churn_baseline () =
+  (* the same workload without the static assertion re-records edges on
+     every execution — the churn §6.2 eliminates *)
+  let eng = Engine.create () in
+  let a = Var.create eng 1 and b = Var.create eng 2 in
+  let f = Func.create eng (fun _ () -> Var.get a + Var.get b) in
+  ignore (Func.call f ());
+  for i = 1 to 20 do
+    Var.set a (100 + i);
+    ignore (Func.call f ())
+  done;
+  let g = Engine.graph_stats eng in
+  checkb "dynamic tracking removes and re-adds edges" true
+    (g.Depgraph.Graph.removed_edges >= 40)
+
+let test_static_deps_hazard () =
+  (* the documented unsoundness: an instance whose R(p) is NOT static
+     loses the dependency it did not read on its first execution *)
+  let eng = Engine.create () in
+  let switch = Var.create eng true in
+  let x = Var.create eng 10 and y = Var.create eng 20 in
+  let f =
+    Func.create eng ~static_deps:true (fun _ () ->
+        if Var.get switch then Var.get x else Var.get y)
+  in
+  checki "first run reads switch and x" 10 (Func.call f ());
+  Var.set switch false;
+  checki "re-execution picks up y" 20 (Func.call f ());
+  (* y was never recorded as a dependency (the static edges are those of
+     the FIRST run: switch and x), so this change is invisible — exactly
+     the unsoundness the API documentation warns about *)
+  Var.set y 999;
+  checki "stale: y's change is untracked" 20 (Func.call f ())
+
+(* ------------------------------------------------------------------ *)
+(* Preemptable evaluation (§4.5)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_settle_bounded_slices () =
+  let eng = Engine.create ~default_strategy:Engine.Eager () in
+  let runs = ref 0 in
+  let cells = Array.init 20 (fun i -> Var.create eng i) in
+  let funcs =
+    Array.map
+      (fun c ->
+        Func.create eng (fun _ () ->
+            incr runs;
+            Var.get c * 2))
+      cells
+  in
+  Array.iter (fun f -> ignore (Func.call f ())) funcs;
+  checki "initial runs" 20 !runs;
+  Array.iteri (fun i c -> Var.set c (100 + i)) cells;
+  (* each dirty cell costs two settle steps (storage + instance), so a
+     budget of 10 advances roughly five re-executions *)
+  checkb "not yet quiescent" false (Engine.settle_bounded eng ~max_steps:10);
+  checkb "partial progress" true (!runs > 20 && !runs < 40);
+  let guard = ref 0 in
+  while (not (Engine.settle_bounded eng ~max_steps:7)) && !guard < 50 do
+    incr guard
+  done;
+  checki "all recomputed across slices" 40 !runs;
+  checkb "now quiescent" true (Engine.settle_bounded eng ~max_steps:1);
+  (* every value is current without any further execution *)
+  Array.iteri
+    (fun i f -> checki "current" ((100 + i) * 2) (Func.call f ()))
+    funcs;
+  checki "queries were pure hits" 40 !runs
+
+let test_settle_bounded_noop_when_clean () =
+  let eng = Engine.create () in
+  checkb "clean engine is quiescent" true
+    (Engine.settle_bounded eng ~max_steps:5)
+
+(* ------------------------------------------------------------------ *)
+(* Feature interactions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_eviction_with_partitioning () =
+  (* cache replacement must stay sound when partitions are live *)
+  let eng = Engine.create ~partitioning:true () in
+  let cells = Array.init 8 (fun i -> Var.create eng i) in
+  let f =
+    Func.create eng ~policy:(Policy.Lru 3) (fun _ i -> Var.get cells.(i) * 10)
+  in
+  for i = 0 to 7 do
+    checki "initial" (i * 10) (Func.call f i)
+  done;
+  checki "bounded" 3 (Func.size f);
+  (* a change to a cell whose instance was evicted: recomputes freshly *)
+  Var.set cells.(0) 100;
+  checki "evicted then changed" 1000 (Func.call f 0);
+  (* a change to a cell whose instance survives: invalidates it *)
+  Var.set cells.(7) 70;
+  checki "survivor invalidated" 700 (Func.call f 7)
+
+let test_unchecked_nested () =
+  let eng = Engine.create () in
+  let a = Var.create eng 1 and b = Var.create eng 2 and c = Var.create eng 3 in
+  let f =
+    Func.create eng (fun _ () ->
+        let x = Var.get a in
+        let y =
+          Engine.unchecked eng (fun () ->
+              (* nested unchecked stays unchecked; the inner call's own
+                 execution tracks normally *)
+              Var.get b + Engine.unchecked eng (fun () -> Var.get c))
+        in
+        x + y)
+  in
+  checki "initial" 6 (Func.call f ());
+  Var.set b 20;
+  Var.set c 30;
+  checki "unchecked reads are frozen" 6 (Func.call f ());
+  Var.set a 10;
+  (* the tracked dependency re-executes and picks up everything *)
+  checki "re-execution refreshes all" 60 (Func.call f ())
+
+let test_unchecked_call_edge_suppressed () =
+  let eng = Engine.create () in
+  let a = Var.create eng 1 in
+  let inner = Func.create eng ~name:"inner" (fun _ () -> Var.get a) in
+  let outer =
+    Func.create eng ~name:"outer" (fun _ () ->
+        Engine.unchecked eng (fun () -> Func.call inner ()) * 10)
+  in
+  checki "initial" 10 (Func.call outer ());
+  Var.set a 5;
+  (* inner itself recomputes when called, but outer recorded no edge *)
+  checki "inner fresh" 5 (Func.call inner ());
+  checki "outer frozen" 10 (Func.call outer ())
+
+let test_settle_bounded_with_partitions () =
+  let eng =
+    Engine.create ~partitioning:true ~default_strategy:Engine.Eager ()
+  in
+  let runs = ref 0 in
+  let pairs =
+    Array.init 6 (fun i ->
+        let v = Var.create eng i in
+        let f =
+          Func.create eng (fun _ () ->
+              incr runs;
+              Var.get v + 1)
+        in
+        ignore (Func.call f ());
+        (v, f))
+  in
+  checki "initial" 6 !runs;
+  Array.iter (fun (v, _) -> Var.set v 100) pairs;
+  (* drain all six independent partitions in slices *)
+  let guard = ref 0 in
+  while (not (Engine.settle_bounded eng ~max_steps:3)) && !guard < 50 do
+    incr guard
+  done;
+  checki "all partitions drained" 12 !runs;
+  Array.iteri
+    (fun _ (_, f) -> checki "current" 101 (Func.call f ()))
+    pairs;
+  checki "queries were hits" 12 !runs
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation-order scheduling (§4.5)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A diamond with deliberately inverted creation order: [f] is created
+   (and prioritized) before the chain it later comes to depend on, so
+   creation-order scheduling processes [f] before the chain and must
+   re-execute it; Pearce–Kelly fixups restore topological order and [f]
+   runs exactly once per change. *)
+let diamond scheduling =
+  let eng =
+    Engine.create ~default_strategy:Engine.Eager ~scheduling ()
+  in
+  let base = Var.create eng ~name:"base" 1 in
+  let mode = Var.create eng ~name:"mode" false in
+  let chain_top = ref None in
+  let f_runs = ref 0 in
+  let f =
+    Func.create eng ~name:"f" (fun _ () ->
+        incr f_runs;
+        let tail =
+          if Var.get mode then
+            match !chain_top with Some c -> Func.call c () | None -> 0
+          else 0
+        in
+        Var.get base + tail)
+  in
+  ignore (Func.call f ()) (* f's node exists, earliest priority *);
+  (* now build and run a chain whose nodes get later priorities *)
+  let rec build i prev =
+    if i = 0 then prev
+    else
+      build (i - 1)
+        (Func.create eng ~name:(Fmt.str "b%d" i) (fun _ () ->
+             Func.call prev () + 1))
+  in
+  let b0 = Func.create eng ~name:"b0" (fun _ () -> Var.get base * 10) in
+  let top = build 6 b0 in
+  ignore (Func.call top ());
+  chain_top := Some top;
+  Var.set mode true;
+  ignore (Func.call f ()) (* now f depends on the whole chain *);
+  Engine.reset_stats eng;
+  f_runs := 0;
+  (eng, base, f, f_runs)
+
+let test_scheduling_topological_avoids_waste () =
+  let _eng_c, base_c, f_c, runs_c = diamond Engine.Creation_order in
+  Var.set base_c 5;
+  checki "correct under creation order" (5 + ((5 * 10) + 6)) (Func.call f_c ());
+  let _eng_t, base_t, f_t, runs_t = diamond Engine.Topological in
+  Var.set base_t 5;
+  checki "correct under topological" (5 + ((5 * 10) + 6)) (Func.call f_t ());
+  (* creation order pops f before the chain, then again after: 2 runs;
+     the fixup drains the chain first: 1 run *)
+  checki "creation order re-executes f twice" 2 !runs_c;
+  checki "topological re-executes f once" 1 !runs_t
+
+let test_scheduling_fifo_correct () =
+  (* FIFO is the no-priorities baseline: still correct, possibly wasteful *)
+  let _eng, base, f, runs = diamond Engine.Fifo in
+  Var.set base 9;
+  checki "correct under fifo" (9 + ((9 * 10) + 6)) (Func.call f ());
+  checkb "ran at least once" true (!runs >= 1)
+
+(* Graph-level property: under random edge insertions with Pearce–Kelly
+   restoration, every accepted edge satisfies the order invariant, and
+   cycles are exactly the edges a reachability oracle rejects. *)
+let prop_pk_invariant =
+  QCheck.Test.make ~name:"Pearce–Kelly keeps a topological order"
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let module G = Depgraph.Graph in
+      let g = G.create () in
+      let nodes = Array.init 20 (fun i -> G.add_node g ~order_after:None i) in
+      let reach = Array.make_matrix 20 20 false in
+      let edges = ref [] in
+      let stamp = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (a, b) ->
+          if a <> b then begin
+            let src = nodes.(a) and dst = nodes.(b) in
+            let closes_cycle = reach.(b).(a) in
+            match G.restore_topological_order g ~src ~dst with
+            | `Cycle -> if not closes_cycle then ok := false
+            | `Already_ordered | `Reordered _ ->
+              if closes_cycle then ok := false
+              else begin
+                incr stamp;
+                G.add_edge ~stamp:!stamp ~src ~dst;
+                edges := (a, b) :: !edges;
+                (* update the reachability oracle *)
+                for i = 0 to 19 do
+                  for j = 0 to 19 do
+                    if (i = a || reach.(i).(a)) && (j = b || reach.(b).(j))
+                    then reach.(i).(j) <- true
+                  done
+                done;
+                reach.(a).(b) <- true
+              end
+          end)
+        pairs;
+      (* the invariant: every accepted edge drains source first *)
+      List.iter
+        (fun (a, b) ->
+          if not (G.order_lt nodes.(a) nodes.(b)) then ok := false)
+        !edges;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized equivalence with a from-scratch oracle (Theorem 5.1)     *)
+(* ------------------------------------------------------------------ *)
+
+type op = Set of int * int | Query of int * int
+
+let op_gen n =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, map2 (fun i v -> Set (i, v)) (int_bound (n - 1)) (int_bound 50));
+        ( 2,
+          map2
+            (fun i j -> Query (min i j, max i j))
+            (int_bound (n - 1))
+            (int_bound (n - 1)) );
+      ])
+
+let ops_arbitrary n =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Set (i, v) -> Fmt.str "set %d %d" i v
+             | Query (i, j) -> Fmt.str "sum %d %d" i j)
+           ops))
+    QCheck.Gen.(list_size (int_bound 60) (op_gen n))
+
+(* Incremental range-sum over n leaves, divide and conquer, compared
+   against direct summation of a mirror array after every operation. *)
+let equivalence_property ~strategy ~partitioning n ops =
+  let eng = Engine.create ~default_strategy:strategy ~partitioning () in
+  let vars = Array.init n (fun i -> Var.create eng i) in
+  let mirror = Array.init n (fun i -> i) in
+  let sum =
+    Func.create eng ~name:"sum" (fun sum (lo, hi) ->
+        if lo = hi then Var.get vars.(lo)
+        else
+          let mid = (lo + hi) / 2 in
+          Func.call sum (lo, mid) + Func.call sum (mid + 1, hi))
+  in
+  List.for_all
+    (fun op ->
+      match op with
+      | Set (i, v) ->
+        Var.set vars.(i) v;
+        mirror.(i) <- v;
+        true
+      | Query (lo, hi) ->
+        let expected = ref 0 in
+        for k = lo to hi do
+          expected := !expected + mirror.(k)
+        done;
+        Func.call sum (lo, hi) = !expected)
+    ops
+
+let prop_equiv ~strategy ~partitioning name =
+  QCheck.Test.make ~name (ops_arbitrary 16)
+    (equivalence_property ~strategy ~partitioning 16)
+
+(* Random DAG topologies: func i reads a random subset of funcs j < i and
+   of the tracked cells; after every mutation, every func must equal a
+   from-scratch recomputation over a mirror array. Exercises sharing
+   (multi-parent nodes), deep chains, mixed per-instance strategies, and
+   partitioning. *)
+let prop_random_dag =
+  let gen =
+    QCheck.Gen.(
+      triple int
+        (list_size (int_bound 30) (pair (int_bound 7) small_int))
+        bool)
+  in
+  QCheck.Test.make ~name:"random DAG = from-scratch oracle" ~count:60
+    (QCheck.make
+       ~print:(fun (seed, ups, part) ->
+         Fmt.str "seed=%d part=%b updates=%d" seed part (List.length ups))
+       gen)
+    (fun (seed, updates, partitioning) ->
+      let rand = Random.State.make [| seed |] in
+      let eng = Engine.create ~partitioning () in
+      let nvars = 8 and nfuncs = 24 in
+      let vars = Array.init nvars (fun i -> Var.create eng i) in
+      let mirror = Array.init nvars (fun i -> i) in
+      let pick n k =
+        List.init k (fun _ -> Random.State.int rand n)
+        |> List.sort_uniq compare
+      in
+      let spec =
+        Array.init nfuncs (fun i ->
+            let var_deps = pick nvars (1 + Random.State.int rand 3) in
+            let fn_deps =
+              if i = 0 then [] else pick i (Random.State.int rand 3)
+            in
+            let strategy =
+              if Random.State.bool rand then Engine.Demand else Engine.Eager
+            in
+            (var_deps, fn_deps, strategy))
+      in
+      let funcs : (unit, int) Func.t option array = Array.make nfuncs None in
+      for i = 0 to nfuncs - 1 do
+        let var_deps, fn_deps, strategy = spec.(i) in
+        funcs.(i) <-
+          Some
+            (Func.create eng ~strategy ~name:(Fmt.str "dag%d" i)
+               (fun _ () ->
+                 List.fold_left
+                   (fun acc v -> acc + Var.get vars.(v))
+                   0 var_deps
+                 + List.fold_left
+                     (fun acc j ->
+                       acc + (2 * Func.call (Option.get funcs.(j)) ()))
+                     0 fn_deps))
+      done;
+      (* from-scratch oracle over the mirror *)
+      let rec oracle i =
+        let var_deps, fn_deps, _ = spec.(i) in
+        List.fold_left (fun acc v -> acc + mirror.(v)) 0 var_deps
+        + List.fold_left (fun acc j -> acc + (2 * oracle j)) 0 fn_deps
+      in
+      let all_agree () =
+        let ok = ref true in
+        for i = 0 to nfuncs - 1 do
+          if Func.call (Option.get funcs.(i)) () <> oracle i then ok := false
+        done;
+        !ok
+      in
+      all_agree ()
+      && List.for_all
+           (fun (v, value) ->
+             Var.set vars.(v) value;
+             mirror.(v) <- value;
+             all_agree ())
+           updates)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_profile () =
+  let eng = Engine.create () in
+  let a = Var.create eng 1 and b = Var.create eng 2 in
+  (* two independent instances over a and b, then a combiner: two levels,
+     width two at the bottom *)
+  let fa = Func.create eng ~name:"fa" (fun _ () -> Var.get a * 2) in
+  let fb = Func.create eng ~name:"fb" (fun _ () -> Var.get b * 3) in
+  let top =
+    Func.create eng ~name:"top" (fun _ () -> Func.call fa () + Func.call fb ())
+  in
+  checki "value" 8 (Func.call top ());
+  let p = Alphonse.Inspect.parallel_profile eng in
+  checki "instances" 3 p.Alphonse.Inspect.total_instances;
+  checki "critical path" 2 p.Alphonse.Inspect.critical_path;
+  checki "max width" 2 p.Alphonse.Inspect.max_width;
+  checkb "widths" true (p.Alphonse.Inspect.level_widths = [ 2; 1 ]);
+  checkb "speedup bound" true
+    (Float.abs (p.Alphonse.Inspect.speedup_bound -. 1.5) < 1e-9)
+
+let test_parallel_profile_chain () =
+  let eng = Engine.create () in
+  let a = Var.create eng 1 in
+  let base = Func.create eng (fun _ () -> Var.get a) in
+  let rec chain i prev =
+    if i = 0 then prev
+    else chain (i - 1) (Func.create eng (fun _ () -> Func.call prev () + 1))
+  in
+  let top = chain 9 base in
+  ignore (Func.call top ());
+  let p = Alphonse.Inspect.parallel_profile eng in
+  (* a pure chain has no parallelism *)
+  checki "critical path = instances" p.Alphonse.Inspect.total_instances
+    p.Alphonse.Inspect.critical_path;
+  checki "max width" 1 p.Alphonse.Inspect.max_width
+
+let test_dot_output () =
+  let eng = Engine.create () in
+  let a = Var.create eng ~name:"a" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a) in
+  ignore (Func.call f ());
+  let dot = Alphonse.Inspect.to_dot eng in
+  checkb "digraph" true (String.length dot > 0);
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions f" true (contains "f#" dot);
+  checkb "mentions a" true (contains "a#" dot);
+  checkb "has an edge" true (contains "->" dot)
+
+let () =
+  Alcotest.run "alphonse"
+    [
+      ( "caching",
+        [
+          Alcotest.test_case "memoized fib" `Quick test_memo_fib;
+          Alcotest.test_case "recompute on change" `Quick
+            test_var_recompute_on_change;
+          Alcotest.test_case "custom var equality" `Quick
+            test_custom_var_equality;
+          Alcotest.test_case "untracked fast path" `Quick
+            test_untracked_var_fast_path;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "eager quiescence cutoff" `Quick test_eager_cutoff;
+          Alcotest.test_case "demand dirties transitively" `Quick
+            test_demand_no_cutoff;
+          Alcotest.test_case "eager stabilize precomputes" `Quick
+            test_eager_stabilize_precomputes;
+          Alcotest.test_case "demand stabilize defers" `Quick
+            test_demand_stabilize_defers;
+        ] );
+      ( "maintained",
+        [
+          Alcotest.test_case "clobbered write restored" `Quick
+            test_maintained_write_restored;
+          Alcotest.test_case "write then read chain" `Quick
+            test_write_then_read_chain;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "mutual cycle" `Quick test_mutual_cycle_detection;
+          Alcotest.test_case "exception retry" `Quick test_exception_retry;
+        ] );
+      ( "unchecked",
+        [
+          Alcotest.test_case "prunes dependencies" `Quick
+            test_unchecked_prunes_dependencies;
+          Alcotest.test_case "checked control group" `Quick
+            test_checked_control_group;
+        ] );
+      ( "replacement",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "lru recency" `Quick test_lru_recency_order;
+          Alcotest.test_case "eviction soundness" `Quick
+            test_eviction_soundness;
+          Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
+        ] );
+      ( "interactions",
+        [
+          Alcotest.test_case "eviction with partitioning" `Quick
+            test_eviction_with_partitioning;
+          Alcotest.test_case "nested unchecked" `Quick test_unchecked_nested;
+          Alcotest.test_case "unchecked call edge" `Quick
+            test_unchecked_call_edge_suppressed;
+          Alcotest.test_case "bounded settle with partitions" `Quick
+            test_settle_bounded_with_partitions;
+        ] );
+      ( "scheduling",
+        Alcotest.test_case "topological avoids waste" `Quick
+          test_scheduling_topological_avoids_waste
+        :: Alcotest.test_case "fifo correct" `Quick test_scheduling_fifo_correct
+        :: qsuite [ prop_pk_invariant ] );
+      ( "static-subgraphs",
+        [
+          Alcotest.test_case "correct when R(p) static" `Quick
+            test_static_deps_correct;
+          Alcotest.test_case "dynamic churn baseline" `Quick
+            test_dynamic_deps_churn_baseline;
+          Alcotest.test_case "documented hazard" `Quick test_static_deps_hazard;
+        ] );
+      ( "preemption",
+        [
+          Alcotest.test_case "bounded settle slices" `Quick
+            test_settle_bounded_slices;
+          Alcotest.test_case "noop when clean" `Quick
+            test_settle_bounded_noop_when_clean;
+        ] );
+      ( "partitioning",
+        [
+          Alcotest.test_case "isolates independent work" `Quick
+            test_partitioning_isolates;
+          Alcotest.test_case "global settle without it" `Quick
+            test_no_partitioning_forces_global_settle;
+          Alcotest.test_case "correctness preserved" `Quick
+            test_partitioned_correctness;
+        ] );
+      ( "equivalence",
+        qsuite
+          [
+            prop_equiv ~strategy:Engine.Demand ~partitioning:false
+              "demand = oracle";
+            prop_equiv ~strategy:Engine.Eager ~partitioning:false
+              "eager = oracle";
+            prop_equiv ~strategy:Engine.Demand ~partitioning:true
+              "demand+partitions = oracle";
+            prop_equiv ~strategy:Engine.Eager ~partitioning:true
+              "eager+partitions = oracle";
+            prop_random_dag;
+          ] );
+      ( "inspect",
+        [
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+          Alcotest.test_case "parallel profile" `Quick test_parallel_profile;
+          Alcotest.test_case "parallel profile chain" `Quick
+            test_parallel_profile_chain;
+        ] );
+    ]

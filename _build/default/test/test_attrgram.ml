@@ -1,0 +1,364 @@
+(* Tests for the attribute-grammar framework (§7.1): the let-expression
+   grammar of Algorithms 6–9 and Knuth's binary numeral grammar, with
+   incremental-vs-exhaustive differential checks and re-evaluation-count
+   assertions. *)
+
+module Engine = Alphonse.Engine
+module Ag = Attrgram.Ag
+module L = Attrgram.Let_lang
+module B = Attrgram.Binary
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let executions eng = (Engine.stats eng).Engine.executions
+
+(* let x = 3 in (x + (let y = x + 4 in y)) : expect 3 + (3+4) = 10 *)
+let sample l =
+  let inner = L.let_ l "y" (L.plus l (L.id l "x") (L.int l 4)) (L.id l "y") in
+  let body = L.plus l (L.id l "x") inner in
+  let x_binding = L.int l 3 in
+  L.root l (L.let_ l "x" x_binding body)
+
+let test_let_basic () =
+  let eng = Engine.create () in
+  let l = L.create eng in
+  let root = sample l in
+  checki "value" 10 (L.value_of l root);
+  checki "agrees with exhaustive" (L.exhaustive_value root) (L.value_of l root);
+  let before = executions eng in
+  checki "cached" 10 (L.value_of l root);
+  checki "second eval free" before (executions eng)
+
+let test_let_edit_terminal () =
+  let eng = Engine.create () in
+  let l = L.create eng in
+  let root = sample l in
+  checki "initial" 10 (L.value_of l root);
+  (* find the int 3 leaf (the x binding) and change it *)
+  let three = ref None in
+  Ag.iter
+    (fun n ->
+      if Ag.prod n = "int" && Ag.terminal n "n" = L.VInt 3 then three := Some n)
+    root;
+  let three = Option.get !three in
+  L.set_int three 7;
+  checki "after edit" (7 + 7 + 4) (L.value_of l root);
+  checki "agrees with exhaustive" (L.exhaustive_value root)
+    (L.value_of l root)
+
+let test_let_edit_locality () =
+  (* a + b + … chain: editing one leaf re-evaluates only its path *)
+  let eng = Engine.create () in
+  let l = L.create eng in
+  let leaves = Array.init 64 (fun i -> L.int l i) in
+  let expr = Array.fold_left (fun acc leaf -> L.plus l acc leaf) leaves.(0)
+      (Array.sub leaves 1 63)
+  in
+  let root = L.root l expr in
+  checki "sum" (63 * 64 / 2) (L.value_of l root);
+  let before = executions eng in
+  L.set_int leaves.(0) 100;
+  checki "updated" ((63 * 64 / 2) + 100) (L.value_of l root);
+  let cost = executions eng - before in
+  (* leaf 0 is deepest: path length ~63 plus the root; must not approach
+     the full 128-attribute re-evaluation *)
+  checkb (Fmt.str "cost %d bounded by path" cost) true (cost <= 70)
+
+let test_let_rename () =
+  let eng = Engine.create () in
+  let l = L.create eng in
+  (* let x = 1 in let y = 2 in x *)
+  let body = L.id l "x" in
+  let inner = L.let_ l "y" (L.int l 2) body in
+  let outer = L.let_ l "x" (L.int l 1) inner in
+  let root = L.root l outer in
+  checki "x resolves to outer" 1 (L.value_of l root);
+  (* rename the inner binder to x: body now sees the inner binding *)
+  L.rename_let inner "x";
+  checki "shadowed" 2 (L.value_of l root);
+  checki "agrees" (L.exhaustive_value root) (L.value_of l root)
+
+let test_let_unbound () =
+  let eng = Engine.create () in
+  let l = L.create eng in
+  let root = L.root l (L.id l "ghost") in
+  checkb "raises unbound" true
+    (match L.value_of l root with
+    | _ -> false
+    | exception L.Unbound_identifier "ghost" -> true);
+  (* error recovery: fix the tree and re-evaluate *)
+  Ag.set_child root 0 (L.int l 5);
+  checki "recovered" 5 (L.value_of l root)
+
+let test_let_subtree_replace () =
+  let eng = Engine.create () in
+  let l = L.create eng in
+  let lhs = L.int l 10 in
+  let rhs = L.int l 20 in
+  let expr = L.plus l lhs rhs in
+  let root = L.root l expr in
+  checki "initial" 30 (L.value_of l root);
+  (* replace the rhs with a let expression *)
+  let fresh = L.let_ l "z" (L.int l 100) (L.plus l (L.id l "z") (L.id l "z")) in
+  Ag.set_child expr 1 fresh;
+  checki "after splice" 210 (L.value_of l root);
+  checki "agrees" (L.exhaustive_value root) (L.value_of l root)
+
+(* Random let-trees with random edits must always agree with the
+   exhaustive interpreter. *)
+let prop_let_equiv =
+  let gen =
+    QCheck.Gen.(list_size (int_bound 20) (pair (int_bound 1000) (int_bound 50)))
+  in
+  QCheck.Test.make ~name:"let-lang incremental = exhaustive"
+    (QCheck.make gen) (fun edits ->
+      let eng = Engine.create () in
+      let l = L.create eng in
+      (* a fixed shape with several binders and reuse *)
+      let leaf1 = L.int l 1 and leaf2 = L.int l 2 and leaf3 = L.int l 3 in
+      let t =
+        L.root l
+          (L.let_ l "a"
+             (L.plus l leaf1 leaf2)
+             (L.plus l
+                (L.let_ l "b" (L.plus l (L.id l "a") leaf3) (L.id l "b"))
+                (L.id l "a")))
+      in
+      let leaves = [| leaf1; leaf2; leaf3 |] in
+      List.for_all
+        (fun (which, v) ->
+          L.set_int leaves.(which mod 3) v;
+          L.value_of l t = L.exhaustive_value t)
+        edits)
+
+(* ------------------------------------------------------------------ *)
+(* Binary numerals                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_binary_basic () =
+  let eng = Engine.create () in
+  let b = B.create eng in
+  let n = B.of_string b "1101.01" in
+  checkf "13.25" 13.25 (B.value_of b n);
+  checkf "agrees" (B.exhaustive_value n) (B.value_of b n);
+  let m = B.of_string b "0" in
+  checkf "zero" 0. (B.value_of b m);
+  let k = B.of_string b "101" in
+  checkf "five" 5. (B.value_of b k)
+
+let test_binary_flip () =
+  let eng = Engine.create () in
+  let b = B.create eng in
+  let n = B.of_string b "1000" in
+  checkf "eight" 8. (B.value_of b n);
+  let leaves = B.bit_leaves n in
+  B.flip (List.hd leaves);
+  checkf "msb off" 0. (B.value_of b n);
+  B.flip (List.nth leaves 3);
+  checkf "lsb on" 1. (B.value_of b n);
+  checkf "agrees" (B.exhaustive_value n) (B.value_of b n)
+
+let test_binary_flip_locality () =
+  let eng = Engine.create () in
+  let b = B.create eng in
+  let n = B.of_string b (String.make 64 '1') in
+  ignore (B.value_of b n);
+  let before = executions eng in
+  (* flip the least significant bit: its value attr changes, and the
+     value attrs on the spine above it; scales are untouched *)
+  let leaves = B.bit_leaves n in
+  B.flip (List.nth leaves 63);
+  ignore (B.value_of b n);
+  let cost = executions eng - before in
+  checkb (Fmt.str "lsb flip cost %d bounded" cost) true (cost <= 8);
+  checkf "agrees" (B.exhaustive_value n) (B.value_of b n)
+
+let prop_binary_equiv =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (pair (string_size ~gen:(oneofl [ '0'; '1' ]) (int_range 1 12))
+           (string_size ~gen:(oneofl [ '0'; '1' ]) (int_bound 8)))
+        (list_size (int_bound 10) (int_bound 30)))
+  in
+  QCheck.Test.make ~name:"binary incremental = exhaustive" (QCheck.make gen)
+    (fun ((ip, fp), flips) ->
+      let eng = Engine.create () in
+      let b = B.create eng in
+      let s = if fp = "" then ip else ip ^ "." ^ fp in
+      let n = B.of_string b s in
+      let leaves = Array.of_list (B.bit_leaves n) in
+      List.for_all
+        (fun i ->
+          B.flip leaves.(i mod Array.length leaves);
+          Float.abs (B.value_of b n -. B.exhaustive_value n) < 1e-9)
+        flips)
+
+(* ------------------------------------------------------------------ *)
+(* The static-AG baseline (§10 comparator)                             *)
+(* ------------------------------------------------------------------ *)
+
+module LS = Attrgram.Let_lang_static
+module SA = Attrgram.Static_ag
+
+(* let x = 3 in (x + (let y = x + 4 in y)) = 10, same shape as [sample] *)
+let static_sample ls =
+  let inner = LS.let_ ls "y" (LS.plus ls (LS.id ls "x") (LS.int ls 4)) (LS.id ls "y") in
+  let body = LS.plus ls (LS.id ls "x") inner in
+  let x_binding = LS.int ls 3 in
+  (LS.root ls (LS.let_ ls "x" x_binding body), x_binding, inner)
+
+let test_static_ag_basic () =
+  let ls = LS.create () in
+  let tree, x_binding, _inner = static_sample ls in
+  checki "value" 10 (LS.value_of ls tree);
+  LS.reset_evals ls;
+  checki "cached" 10 (LS.value_of ls tree);
+  checki "second eval free" 0 (LS.evals ls);
+  LS.set_int ls x_binding 7;
+  checki "after edit" 18 (LS.value_of ls tree)
+
+let test_static_ag_matches_alphonse () =
+  (* the two engines evaluate the same grammar; drive both through the
+     same edit schedule and compare *)
+  let eng = Engine.create () in
+  let l = L.create eng in
+  let ls = LS.create () in
+  let a_tree = sample l in
+  let s_tree, s_x, _ = static_sample ls in
+  let a_x = ref None in
+  Ag.iter
+    (fun n ->
+      if Ag.prod n = "int" && Ag.terminal n "n" = L.VInt 3 then a_x := Some n)
+    a_tree;
+  let a_x = Option.get !a_x in
+  List.iter
+    (fun v ->
+      L.set_int a_x v;
+      LS.set_int ls s_x v;
+      checki (Fmt.str "engines agree after x <- %d" v) (L.value_of l a_tree)
+        (LS.value_of ls s_tree))
+    [ 10; 0; -5; 10; 42 ]
+
+let test_static_ag_propagation_bounded () =
+  let ls = LS.create () in
+  let leaves = Array.init 64 (fun i -> LS.int ls i) in
+  let expr =
+    Array.fold_left (fun acc leaf -> LS.plus ls acc leaf) leaves.(0)
+      (Array.sub leaves 1 63)
+  in
+  let tree = LS.root ls expr in
+  checki "sum" (63 * 64 / 2) (LS.value_of ls tree);
+  LS.reset_evals ls;
+  LS.set_int ls leaves.(0) 100;
+  checki "updated" ((63 * 64 / 2) + 100) (LS.value_of ls tree);
+  checkb (Fmt.str "evals %d bounded by path" (LS.evals ls)) true
+    (LS.evals ls <= 70)
+
+let test_static_ag_subtree_replace () =
+  let ls = LS.create () in
+  let lhs = LS.int ls 10 in
+  let rhs = LS.int ls 20 in
+  let expr = LS.plus ls lhs rhs in
+  let tree = LS.root ls expr in
+  checki "initial" 30 (LS.value_of ls tree);
+  let fresh =
+    LS.let_ ls "z" (LS.int ls 100) (LS.plus ls (LS.id ls "z") (LS.id ls "z"))
+  in
+  LS.set_child ls expr 1 fresh;
+  checki "after splice" 210 (LS.value_of ls tree)
+
+let test_static_ag_undeclared_dep_checked () =
+  (* an equation that reads more than it declares is caught at run time *)
+  let g =
+    SA.grammar
+      [
+        {
+          SA.pname = "leaf";
+          arity = 0;
+          syn =
+            [
+              {
+                SA.target = "v";
+                deps = [];
+                eval = (fun ctx -> ctx.SA.get (SA.Term "n"));
+              };
+            ];
+          inh = [];
+        };
+      ]
+  in
+  let n = SA.node g ~prod:"leaf" ~terminals:[ ("n", L.VInt 1) ] [] in
+  checkb "undeclared dependency raises" true
+    (match SA.get g n "v" with
+    | _ -> false
+    | exception SA.Undeclared_dependency _ -> true)
+
+let prop_static_vs_alphonse_vs_exhaustive =
+  let gen =
+    QCheck.Gen.(list_size (int_bound 20) (pair (int_bound 1000) (int_bound 50)))
+  in
+  QCheck.Test.make ~name:"static AG = alphonse AG = exhaustive"
+    (QCheck.make gen) (fun edits ->
+      let eng = Engine.create () in
+      let l = L.create eng in
+      let ls = LS.create () in
+      let a1 = L.int l 1 and a2 = L.int l 2 and a3 = L.int l 3 in
+      let a_tree =
+        L.root l
+          (L.let_ l "a" (L.plus l a1 a2)
+             (L.plus l
+                (L.let_ l "b" (L.plus l (L.id l "a") a3) (L.id l "b"))
+                (L.id l "a")))
+      in
+      let s1 = LS.int ls 1 and s2 = LS.int ls 2 and s3 = LS.int ls 3 in
+      let s_tree =
+        LS.root ls
+          (LS.let_ ls "a" (LS.plus ls s1 s2)
+             (LS.plus ls
+                (LS.let_ ls "b" (LS.plus ls (LS.id ls "a") s3) (LS.id ls "b"))
+                (LS.id ls "a")))
+      in
+      let a_leaves = [| a1; a2; a3 |] and s_leaves = [| s1; s2; s3 |] in
+      List.for_all
+        (fun (which, v) ->
+          let i = which mod 3 in
+          L.set_int a_leaves.(i) v;
+          LS.set_int ls s_leaves.(i) v;
+          let a = L.value_of l a_tree in
+          let s = LS.value_of ls s_tree in
+          let e = L.exhaustive_value a_tree in
+          a = e && s = e)
+        edits)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "attrgram"
+    [
+      ( "let_lang",
+        Alcotest.test_case "basic" `Quick test_let_basic
+        :: Alcotest.test_case "edit terminal" `Quick test_let_edit_terminal
+        :: Alcotest.test_case "edit locality" `Quick test_let_edit_locality
+        :: Alcotest.test_case "rename binder" `Quick test_let_rename
+        :: Alcotest.test_case "unbound identifier" `Quick test_let_unbound
+        :: Alcotest.test_case "subtree replace" `Quick test_let_subtree_replace
+        :: qsuite [ prop_let_equiv ] );
+      ( "static_ag",
+        Alcotest.test_case "basic" `Quick test_static_ag_basic
+        :: Alcotest.test_case "matches alphonse" `Quick
+             test_static_ag_matches_alphonse
+        :: Alcotest.test_case "propagation bounded" `Quick
+             test_static_ag_propagation_bounded
+        :: Alcotest.test_case "subtree replace" `Quick
+             test_static_ag_subtree_replace
+        :: Alcotest.test_case "undeclared dependency" `Quick
+             test_static_ag_undeclared_dep_checked
+        :: qsuite [ prop_static_vs_alphonse_vs_exhaustive ] );
+      ( "binary",
+        Alcotest.test_case "basic" `Quick test_binary_basic
+        :: Alcotest.test_case "flip bits" `Quick test_binary_flip
+        :: Alcotest.test_case "flip locality" `Quick test_binary_flip_locality
+        :: qsuite [ prop_binary_equiv ] );
+    ]

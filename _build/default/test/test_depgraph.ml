@@ -1,0 +1,346 @@
+(* Tests for the dependency-graph substrate: order-maintenance list,
+   pairing heap, union-find, and the graph itself. *)
+
+module Ol = Depgraph.Order_list
+module Heap = Depgraph.Pairing_heap
+module Uf = Depgraph.Union_find
+module G = Depgraph.Graph
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Order-maintenance list                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_basic () =
+  let t = Ol.create () in
+  let b = Ol.base t in
+  let x = Ol.insert_after b in
+  let y = Ol.insert_after x in
+  let z = Ol.insert_after b in
+  (* order is now b, z, x, y *)
+  checkb "b < z" true (Ol.lt b z);
+  checkb "z < x" true (Ol.lt z x);
+  checkb "x < y" true (Ol.lt x y);
+  checkb "y > b" true (Ol.lt b y);
+  checki "length" 4 (Ol.length t);
+  Ol.validate t
+
+let test_order_insert_before () =
+  let t = Ol.create () in
+  let b = Ol.base t in
+  let x = Ol.insert_after b in
+  let w = Ol.insert_before x in
+  checkb "b < w" true (Ol.lt b w);
+  checkb "w < x" true (Ol.lt w x);
+  Alcotest.check_raises "insert_before base"
+    (Invalid_argument "Order_list.insert_before: base item") (fun () ->
+      ignore (Ol.insert_before b));
+  Ol.validate t
+
+let test_order_delete () =
+  let t = Ol.create () in
+  let b = Ol.base t in
+  let x = Ol.insert_after b in
+  let y = Ol.insert_after x in
+  Ol.delete x;
+  checkb "b < y" true (Ol.lt b y);
+  checki "length" 2 (Ol.length t);
+  Alcotest.check_raises "compare deleted"
+    (Invalid_argument "Order_list.compare: deleted order item") (fun () ->
+      ignore (Ol.lt x y));
+  Ol.validate t
+
+(* Append-heavy and front-heavy insertion both must terminate and preserve
+   order through relabeling. *)
+let test_order_stress_front () =
+  let t = Ol.create () in
+  let b = Ol.base t in
+  let items = Array.make 5000 b in
+  (* Always insert directly after base: the new element lands before all
+     previously inserted ones, continually squeezing the front gap. *)
+  for i = 0 to 4999 do
+    items.(i) <- Ol.insert_after b
+  done;
+  Ol.validate t;
+  (* items.(i) was inserted later, so it sits closer to base *)
+  for i = 1 to 4999 do
+    checkb "later insert sorts earlier" true (Ol.lt items.(i) items.(i - 1))
+  done;
+  checkb "relabeling happened" true (Ol.relabel_count t > 0)
+
+let test_order_random_matches_reference () =
+  let rand = Random.State.make [| 42 |] in
+  let t = Ol.create () in
+  (* reference: a list of item ids in order; items array *)
+  let items = ref [ Ol.base t ] in
+  for _ = 1 to 2000 do
+    let n = List.length !items in
+    let i = Random.State.int rand n in
+    let anchor = List.nth !items i in
+    let fresh = Ol.insert_after anchor in
+    (* splice into reference after position i *)
+    let rec splice k = function
+      | [] -> [ fresh ]
+      | x :: rest -> if k = 0 then x :: fresh :: rest else x :: splice (k - 1) rest
+    in
+    items := splice i !items
+  done;
+  Ol.validate t;
+  let arr = Array.of_list !items in
+  for k = 0 to Array.length arr - 2 do
+    checkb "reference order agrees" true (Ol.lt arr.(k) arr.(k + 1))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pairing heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let int_heap () = Heap.create ~leq:(fun (a : int) b -> a <= b)
+
+let drain h =
+  let rec go acc =
+    match Heap.pop_min h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_heap_sorts () =
+  let h = int_heap () in
+  List.iter (Heap.insert h) [ 5; 3; 8; 1; 9; 2; 2; 7 ];
+  checki "length" 8 (Heap.length h);
+  check Alcotest.(list int) "sorted drain" [ 1; 2; 2; 3; 5; 7; 8; 9 ] (drain h);
+  checkb "empty after drain" true (Heap.is_empty h)
+
+let test_heap_meld () =
+  let a = int_heap () and b = int_heap () in
+  List.iter (Heap.insert a) [ 4; 1; 6 ];
+  List.iter (Heap.insert b) [ 5; 0; 2 ];
+  Heap.meld a b;
+  checkb "src emptied" true (Heap.is_empty b);
+  check Alcotest.(list int) "melded drain" [ 0; 1; 2; 4; 5; 6 ] (drain a)
+
+let test_heap_peek_clear () =
+  let h = int_heap () in
+  check Alcotest.(option int) "peek empty" None (Heap.peek_min h);
+  Heap.insert h 3;
+  Heap.insert h 1;
+  check Alcotest.(option int) "peek" (Some 1) (Heap.peek_min h);
+  checki "peek does not pop" 2 (Heap.length h);
+  Heap.clear h;
+  checkb "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts_random =
+  QCheck.Test.make ~name:"pairing heap drains sorted"
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.insert h) xs;
+      drain h = List.sort compare xs)
+
+let prop_heap_meld_random =
+  QCheck.Test.make ~name:"meld equals concatenation"
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      let a = int_heap () and b = int_heap () in
+      List.iter (Heap.insert a) xs;
+      List.iter (Heap.insert b) ys;
+      Heap.meld a b;
+      drain a = List.sort compare (xs @ ys))
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_basic () =
+  let a = Uf.make 1 and b = Uf.make 2 and c = Uf.make 4 in
+  checkb "distinct" false (Uf.same a b);
+  let ( + ) = Stdlib.( + ) in
+  ignore (Uf.union ~merge:( + ) a b);
+  checkb "unioned" true (Uf.same a b);
+  checki "merged payload" 3 (Uf.payload a);
+  checki "payload via either" 3 (Uf.payload b);
+  ignore (Uf.union ~merge:( + ) b c);
+  checki "payload all" 7 (Uf.payload c);
+  checkb "transitive" true (Uf.same a c);
+  (* idempotent union *)
+  ignore (Uf.union ~merge:( + ) a c);
+  checki "no double merge" 7 (Uf.payload a)
+
+let test_uf_set_payload () =
+  let a = Uf.make "x" and b = Uf.make "y" in
+  ignore (Uf.union ~merge:(fun k _ -> k) a b);
+  Uf.set_payload b "z";
+  check Alcotest.string "set via non-root" "z" (Uf.payload a)
+
+let prop_uf_partition_refinement =
+  (* random unions on 40 elements agree with a naive partition oracle *)
+  QCheck.Test.make ~name:"union-find agrees with naive partition"
+    QCheck.(list (pair (int_bound 39) (int_bound 39)))
+    (fun pairs ->
+      let elts = Array.init 40 (fun i -> Uf.make i) in
+      let naive = Array.init 40 (fun i -> i) in
+      let rec naive_find i = if naive.(i) = i then i else naive_find naive.(i) in
+      List.iter
+        (fun (i, j) ->
+          ignore (Uf.union ~merge:min elts.(i) elts.(j));
+          let ri = naive_find i and rj = naive_find j in
+          if ri <> rj then naive.(ri) <- rj)
+        pairs;
+      let ok = ref true in
+      for i = 0 to 39 do
+        for j = 0 to 39 do
+          let same_uf = Uf.same elts.(i) elts.(j) in
+          let same_naive = naive_find i = naive_find j in
+          if same_uf <> same_naive then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graph                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_edges () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  let c = G.add_node g ~order_after:None "c" in
+  G.add_edge ~stamp:1 ~src:a ~dst:c;
+  G.add_edge ~stamp:1 ~src:b ~dst:c;
+  G.add_edge ~stamp:2 ~src:a ~dst:b;
+  checki "succ a" 2 (G.succ_count a);
+  checki "pred c" 2 (G.pred_count c);
+  let seen = ref [] in
+  G.iter_succ (fun n -> seen := G.payload n :: !seen) a;
+  check
+    Alcotest.(slist string compare)
+    "a's successors" [ "b"; "c" ] !seen;
+  G.clear_preds g c;
+  checki "pred c cleared" 0 (G.pred_count c);
+  checki "succ a after clear" 1 (G.succ_count a);
+  checki "succ b after clear" 0 (G.succ_count b);
+  G.validate g
+
+let test_graph_edge_dedup () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  G.add_edge ~stamp:7 ~src:a ~dst:b;
+  G.add_edge ~stamp:7 ~src:a ~dst:b;
+  G.add_edge ~stamp:7 ~src:a ~dst:b;
+  checki "deduplicated" 1 (G.succ_count a);
+  (* a different execution stamp records a fresh edge *)
+  G.add_edge ~stamp:8 ~src:a ~dst:b;
+  checki "new stamp, new edge" 2 (G.succ_count a)
+
+let test_graph_order () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  let c = G.add_node_before g ~order_before:b "c" in
+  checkb "a before c" true (G.order_lt a c);
+  checkb "c before b" true (G.order_lt c b);
+  G.reorder_before b a;
+  checkb "b moved before a" true (G.order_lt b a)
+
+let test_graph_remove_node () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  let c = G.add_node g ~order_after:None "c" in
+  G.add_edge ~stamp:1 ~src:a ~dst:b;
+  G.add_edge ~stamp:2 ~src:b ~dst:c;
+  G.remove_node g b;
+  checki "a succ" 0 (G.succ_count a);
+  checki "c pred" 0 (G.pred_count c);
+  Alcotest.check_raises "use after remove"
+    (Invalid_argument "Graph.iter_succ: removed dependency graph node")
+    (fun () -> G.iter_succ ignore b);
+  let s = G.stats g in
+  checki "live nodes" 2 s.live_nodes;
+  checki "live edges" 0 s.live_edges;
+  checki "total nodes" 3 s.total_nodes;
+  checki "removed edges" 2 s.removed_edges
+
+let test_graph_stats () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  G.add_edge ~stamp:1 ~src:a ~dst:b;
+  let s = G.stats g in
+  checki "live nodes" 2 s.live_nodes;
+  checki "live edges" 1 s.live_edges;
+  checki "total edges" 1 s.total_edges
+
+(* Random add/clear sequence against a naive adjacency oracle. *)
+let prop_graph_matches_oracle =
+  QCheck.Test.make ~name:"graph agrees with naive adjacency oracle"
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun ops ->
+      let g = G.create () in
+      let nodes = Array.init 10 (fun i -> G.add_node g ~order_after:None i) in
+      let oracle = Array.make_matrix 10 10 false in
+      let stamp = ref 0 in
+      List.iteri
+        (fun k (i, j) ->
+          if k mod 7 = 3 then begin
+            (* occasionally clear predecessors of j *)
+            G.clear_preds g nodes.(j);
+            for s = 0 to 9 do
+              oracle.(s).(j) <- false
+            done
+          end
+          else if i <> j then begin
+            incr stamp;
+            G.add_edge ~stamp:!stamp ~src:nodes.(i) ~dst:nodes.(j);
+            oracle.(i).(j) <- true
+          end)
+        ops;
+      let ok = ref true in
+      for i = 0 to 9 do
+        let succ = ref [] in
+        G.iter_succ (fun n -> succ := G.payload n :: !succ) nodes.(i);
+        let expected = ref [] in
+        for j = 9 downto 0 do
+          if oracle.(i).(j) then expected := j :: !expected
+        done;
+        (* the graph may hold parallel edges from distinct stamps; compare
+           as sets *)
+        let sort = List.sort_uniq compare in
+        if sort !succ <> sort !expected then ok := false
+      done;
+      !ok)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "depgraph"
+    [
+      ( "order_list",
+        [
+          Alcotest.test_case "basic ordering" `Quick test_order_basic;
+          Alcotest.test_case "insert_before" `Quick test_order_insert_before;
+          Alcotest.test_case "delete" `Quick test_order_delete;
+          Alcotest.test_case "front-insert stress" `Quick test_order_stress_front;
+          Alcotest.test_case "random vs reference" `Quick
+            test_order_random_matches_reference;
+        ] );
+      ( "pairing_heap",
+        Alcotest.test_case "sorts" `Quick test_heap_sorts
+        :: Alcotest.test_case "meld" `Quick test_heap_meld
+        :: Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear
+        :: qsuite [ prop_heap_sorts_random; prop_heap_meld_random ] );
+      ( "union_find",
+        Alcotest.test_case "basic" `Quick test_uf_basic
+        :: Alcotest.test_case "set_payload" `Quick test_uf_set_payload
+        :: qsuite [ prop_uf_partition_refinement ] );
+      ( "graph",
+        Alcotest.test_case "edges" `Quick test_graph_edges
+        :: Alcotest.test_case "edge dedup" `Quick test_graph_edge_dedup
+        :: Alcotest.test_case "order" `Quick test_graph_order
+        :: Alcotest.test_case "remove node" `Quick test_graph_remove_node
+        :: Alcotest.test_case "stats" `Quick test_graph_stats
+        :: qsuite [ prop_graph_matches_oracle ] );
+    ]

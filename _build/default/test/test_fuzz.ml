@@ -1,0 +1,352 @@
+(* Randomized end-to-end tests.
+
+   - Random well-typed expression programs: the conventional interpreter
+     must agree with a plain OCaml evaluation oracle, and every generated
+     module must round-trip through the pretty-printer and parser.
+   - Random mutator schedules over a maintained-property program family:
+     Theorem 5.1 checked by construction (Alphonse execution output equals
+     conventional execution output) under all strategy/partitioning
+     combinations.
+   - Oracle tests for the remaining substrate pieces: the closure-based
+     hash table against Stdlib.Hashtbl, and the order-maintenance list
+     under interleaved inserts and deletes. *)
+
+open Lang.Ast
+module P = Lang.Parser
+module Tc = Lang.Typecheck
+module Interp = Lang.Interp
+module Incr = Transform.Incr_interp
+module Engine = Alphonse.Engine
+
+
+(* ------------------------------------------------------------------ *)
+(* Random well-typed integer expressions with an evaluation oracle     *)
+(* ------------------------------------------------------------------ *)
+
+let global_names = [| "g0"; "g1"; "g2"; "g3" |]
+let global_values = [| 3; -7; 11; 2 |]
+
+(* generator of (AST, oracle value) pairs *)
+let rec int_expr_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun n -> (mk_expr (Int n), n)) (int_range (-50) 50);
+        map
+          (fun i ->
+            (mk_expr (Var global_names.(i)), global_values.(i)))
+          (int_bound 3);
+      ]
+  else
+    let sub = int_expr_gen (depth - 1) in
+    frequency
+      [
+        (1, int_expr_gen 0);
+        ( 3,
+          map3
+            (fun op (ea, va) (eb, vb) ->
+              let v =
+                match op with
+                | Add -> va + vb
+                | Sub -> va - vb
+                | Mul -> va * vb
+                | _ -> assert false
+              in
+              (mk_expr (Binop (op, ea, eb)), v))
+            (oneofl [ Add; Sub; Mul ])
+            sub sub );
+        (1, map (fun (e, v) -> (mk_expr (Unop (Neg, e)), -v)) sub);
+        ( 1,
+          (* IF cond THEN a ELSE b END, expressed as a value via a helper
+             procedure is heavy; instead encode the conditional with a
+             comparison feeding a multiply: (a < b) is not first-class
+             int, so wrap via the Choose procedure declared below *)
+          map3
+            (fun (ec, vc) (ea, va) (eb, vb) ->
+              let cond = mk_expr (Binop (Gt, ec, mk_expr (Int 0))) in
+              ( mk_expr (Call (Cproc "Choose", [ cond; ea; eb ])),
+                if vc > 0 then va else vb ))
+            sub sub sub );
+      ]
+
+let module_of_expr e =
+  {
+    modname = "Fuzz";
+    types = [];
+    globals =
+      Array.to_list
+        (Array.mapi
+           (fun i g ->
+             {
+               gname = g;
+               gty = Tint;
+               ginit = Some (mk_expr (Int global_values.(i)));
+               gpos = no_pos;
+             })
+           global_names);
+    procs =
+      [
+        {
+          pname = "Choose";
+          params = [ ("c", Tbool); ("a", Tint); ("b", Tint) ];
+          ret = Some Tint;
+          locals = [];
+          body =
+            [
+              mk_stmt
+                (If
+                   ( [ (mk_expr (Var "c"), [ mk_stmt (Return (Some (mk_expr (Var "a")))) ]) ],
+                     [ mk_stmt (Return (Some (mk_expr (Var "b")))) ] ));
+            ];
+          ppragma = None;
+          ppos = no_pos;
+        };
+      ];
+    main =
+      [
+        mk_stmt (Call_stmt (mk_expr (Call (Cproc "Print", [ e ]))));
+      ];
+  }
+
+let prop_expr_oracle =
+  QCheck.Test.make ~name:"random expressions: interpreter = oracle" ~count:200
+    (QCheck.make
+       ~print:(fun (e, v) ->
+         Fmt.str "%a = %d" (Lang.Pretty.pp_expr ~marks:false 0) e v)
+       (int_expr_gen 4))
+    (fun (e, oracle) ->
+      let m = module_of_expr e in
+      match Tc.check m with
+      | Error _ -> false
+      | Ok env -> (
+        let out = Interp.run ~fuel:1_000_000 env in
+        match out.Interp.error with
+        | Some _ -> false
+        | None -> out.Interp.output = string_of_int oracle))
+
+let prop_module_roundtrip =
+  QCheck.Test.make ~name:"random modules: print/parse round trip" ~count:200
+    (QCheck.make
+       ~print:(fun (e, _) -> Fmt.str "%a" (Lang.Pretty.pp_expr ~marks:false 0) e)
+       (int_expr_gen 4))
+    (fun (e, _) ->
+      let m = module_of_expr e in
+      let printed = Lang.Pretty.to_string m in
+      match P.parse printed with
+      | Error _ -> false
+      | Ok m2 -> Lang.Pretty.to_string m2 = printed)
+
+(* ------------------------------------------------------------------ *)
+(* Random mutator schedules: Theorem 5.1 by construction               *)
+(* ------------------------------------------------------------------ *)
+
+type op = Set of int * int | Query | Show of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun i v -> Set (i, v)) (int_bound 3) (int_range (-20) 20));
+        (2, return Query);
+        (1, map (fun i -> Show i) (int_bound 3));
+      ])
+
+let print_op = function
+  | Set (i, v) -> Fmt.str "g%d := %d" i v
+  | Query -> "query"
+  | Show i -> Fmt.str "show g%d" i
+
+(* the program family: a maintained total over the four globals, driven
+   by a random mutator *)
+let module_of_schedule ops =
+  let total_body =
+    (* g0 + 2*g1 + 3*g2 - g3 *)
+    let g i = mk_expr (Var global_names.(i)) in
+    let ( +! ) a b = mk_expr (Binop (Add, a, b)) in
+    let ( -! ) a b = mk_expr (Binop (Sub, a, b)) in
+    let ( *! ) a b = mk_expr (Binop (Mul, a, b)) in
+    g 0 +! (mk_expr (Int 2) *! g 1) +! ((mk_expr (Int 3) *! g 2) -! g 3)
+  in
+  let main =
+    mk_stmt (Assign (mk_expr (Var "calc"), mk_expr (New "Calc")))
+    :: List.map
+         (fun op ->
+           match op with
+           | Set (i, v) ->
+             mk_stmt
+               (Assign (mk_expr (Var global_names.(i)), mk_expr (Int v)))
+           | Query ->
+             mk_stmt
+               (Call_stmt
+                  (mk_expr
+                     (Call
+                        ( Cproc "Print",
+                          [
+                            mk_expr
+                              (Call
+                                 ( Cmethod (mk_expr (Var "calc"), "total"),
+                                   [] ));
+                            mk_expr (Text " ");
+                          ] ))))
+           | Show i ->
+             mk_stmt
+               (Call_stmt
+                  (mk_expr
+                     (Call
+                        ( Cproc "Print",
+                          [ mk_expr (Var global_names.(i)); mk_expr (Text "|") ]
+                        )))))
+         ops
+  in
+  {
+    modname = "Schedule";
+    types =
+      [
+        {
+          tname = "Calc";
+          super = None;
+          fields = [];
+          methods =
+            [
+              {
+                mname = "total";
+                mparams = [];
+                mret = Some Tint;
+                mimpl = "Total";
+                mpragma = Some (Maintained S_default);
+                mpos = no_pos;
+              };
+            ];
+          overrides = [];
+          tpos = no_pos;
+        };
+      ];
+    globals =
+      { gname = "calc"; gty = Tobj "Calc"; ginit = None; gpos = no_pos }
+      :: Array.to_list
+           (Array.map
+              (fun g -> { gname = g; gty = Tint; ginit = None; gpos = no_pos })
+              global_names);
+    procs =
+      [
+        {
+          pname = "Total";
+          params = [ ("s", Tobj "Calc") ];
+          ret = Some Tint;
+          locals = [];
+          body = [ mk_stmt (Return (Some total_body)) ];
+          ppragma = None;
+          ppos = no_pos;
+        };
+      ];
+    main;
+  }
+
+let prop_schedule_theorem_5_1 =
+  QCheck.Test.make ~name:"random schedules: Theorem 5.1" ~count:100
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+       QCheck.Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let m = module_of_schedule ops in
+      match Tc.check m with
+      | Error _ -> false
+      | Ok env -> (
+        let conv = Interp.run ~fuel:10_000_000 env in
+        match conv.Interp.error with
+        | Some _ -> false
+        | None ->
+          List.for_all
+            (fun (strategy, partitioning) ->
+              let inc =
+                Incr.run ~fuel:10_000_000 ~default_strategy:strategy
+                  ~partitioning env
+              in
+              inc.Incr.error = None && inc.Incr.output = conv.Interp.output)
+            [
+              (Engine.Demand, false);
+              (Engine.Eager, false);
+              (Engine.Demand, true);
+              (Engine.Eager, true);
+            ]))
+
+(* ------------------------------------------------------------------ *)
+(* Substrate oracles                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_htbl_oracle =
+  QCheck.Test.make ~name:"closure hashtable = Stdlib.Hashtbl" ~count:200
+    QCheck.(list (pair (int_bound 40) (option (int_bound 1000))))
+    (fun ops ->
+      let t =
+        Alphonse.Htbl.create ~hash:Hashtbl.hash ~equal:Int.equal ()
+      in
+      let oracle : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | Some v ->
+            (* add-if-absent semantics, like the argument tables *)
+            if not (Hashtbl.mem oracle k) then begin
+              Alphonse.Htbl.add t k v;
+              Hashtbl.replace oracle k v
+            end
+          | None ->
+            Alphonse.Htbl.remove t k;
+            Hashtbl.remove oracle k)
+        ops;
+      Alphonse.Htbl.length t = Hashtbl.length oracle
+      && Hashtbl.fold
+           (fun k v acc -> acc && Alphonse.Htbl.find t k = Some v)
+           oracle true
+      && Alphonse.Htbl.fold
+           (fun k v acc -> acc && Hashtbl.find_opt oracle k = Some v)
+           t true)
+
+let prop_order_list_with_deletes =
+  QCheck.Test.make ~name:"order list under inserts and deletes" ~count:100
+    QCheck.(list (pair (int_bound 99) bool))
+    (fun ops ->
+      let module Ol = Depgraph.Order_list in
+      let t = Ol.create () in
+      (* reference: items in order; index 0 is the undeletable base *)
+      let items = ref [ Ol.base t ] in
+      List.iter
+        (fun (i, delete) ->
+          let n = List.length !items in
+          if delete && n > 1 then begin
+            let idx = 1 + (i mod (n - 1)) in
+            Ol.delete (List.nth !items idx);
+            items := List.filteri (fun j _ -> j <> idx) !items
+          end
+          else begin
+            let idx = i mod n in
+            let fresh = Ol.insert_after (List.nth !items idx) in
+            let rec splice k = function
+              | [] -> [ fresh ]
+              | x :: rest ->
+                if k = 0 then x :: fresh :: rest else x :: splice (k - 1) rest
+            in
+            items := splice idx !items
+          end)
+        ops;
+      Ol.validate t;
+      let arr = Array.of_list !items in
+      let ok = ref (Ol.length t = Array.length arr) in
+      for k = 0 to Array.length arr - 2 do
+        if not (Ol.lt arr.(k) arr.(k + 1)) then ok := false
+      done;
+      !ok)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "lang",
+        qsuite
+          [ prop_expr_oracle; prop_module_roundtrip; prop_schedule_theorem_5_1 ]
+      );
+      ("substrate", qsuite [ prop_htbl_oracle; prop_order_list_with_deletes ]);
+    ]

@@ -1,0 +1,433 @@
+(* Tests for the Alphonse-L front end: lexer, parser, pretty-printer
+   round-trip, type checker, and the conventional interpreter. *)
+
+open Lang
+module P = Parser
+module Tc = Typecheck
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let parse_ok src =
+  match P.parse src with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let check_ok m =
+  match Tc.check m with
+  | Ok env -> env
+  | Error es ->
+    Alcotest.failf "typecheck failed: %a" Fmt.(list ~sep:semi Tc.pp_error) es
+
+let compile src = check_ok (parse_ok src)
+
+let run_ok ?(fuel = 10_000_000) src =
+  let env = compile src in
+  let out = Interp.run ~fuel env in
+  match out.Interp.error with
+  | None -> out.Interp.output
+  | Some e -> Alcotest.failf "runtime error: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "MODULE m; x := 1 + 2; (* plain comment *)" in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  checkb "token stream" true
+    (kinds
+    = Lexer.
+        [ KW "MODULE"; IDENT "m"; SEMI; IDENT "x"; ASSIGN; INT 1; PLUS;
+          INT 2; SEMI; EOF ])
+
+let test_lexer_pragmas () =
+  let toks = Lexer.tokenize "(*MAINTAINED*) (*CACHED LRU 8*) (*UNCHECKED*)" in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  checkb "pragmas" true
+    (kinds
+    = Lexer.
+        [
+          PRAGMA (Ast.Maintained Ast.S_default);
+          PRAGMA (Ast.Cached (Ast.S_default, Ast.P_lru 8));
+          UNCHECKED_PRAGMA;
+          EOF;
+        ])
+
+let test_lexer_nested_comment () =
+  let toks = Lexer.tokenize "1 (* a (* nested *) b *) 2" in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  checkb "nested comments skipped" true (kinds = Lexer.[ INT 1; INT 2; EOF ])
+
+let test_lexer_text_escapes () =
+  let toks = Lexer.tokenize {|"a\nb\"c\\d"|} in
+  match List.map (fun t -> t.Lexer.tok) toks with
+  | [ Lexer.TEXT s; Lexer.EOF ] -> checks "escapes" "a\nb\"c\\d" s
+  | _ -> Alcotest.fail "expected one text token"
+
+let test_lexer_errors () =
+  let bad src =
+    match Lexer.tokenize src with
+    | exception Lexer.Lex_error _ -> true
+    | _ -> false
+  in
+  checkb "bad char" true (bad "a $ b");
+  checkb "unterminated text" true (bad "\"abc");
+  checkb "unterminated comment" true (bad "(* abc");
+  (* unknown words in comments are ordinary comments, but a recognized
+     pragma with bad arguments is an error *)
+  checkb "pragma with bad argument" true (bad "(*MAINTAINED WEIRD*)");
+  checkb "bad cache size" true (bad "(*CACHED LRU x*)");
+  checkb "unknown comment is fine" false (bad "(*FROBNICATE*)")
+
+(* ------------------------------------------------------------------ *)
+(* Parser + pretty round-trip                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_samples () =
+  List.iter
+    (fun (name, src) ->
+      match P.parse src with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "sample %s failed to parse: %s" name e)
+    Samples.all
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun (name, src) ->
+      let m = parse_ok src in
+      let printed = Pretty.to_string m in
+      match P.parse printed with
+      | Error e ->
+        Alcotest.failf "sample %s roundtrip re-parse failed: %s\n%s" name e
+          printed
+      | Ok m2 ->
+        let p2 = Pretty.to_string m2 in
+        if printed <> p2 then
+          Alcotest.failf "sample %s not a fixpoint of print∘parse" name)
+    Samples.all
+
+let test_parse_errors () =
+  let bad src = match P.parse src with Ok _ -> false | Error _ -> true in
+  checkb "empty" true (bad "");
+  checkb "missing end name" true (bad "MODULE M; BEGIN END.");
+  checkb "wrong end name" true (bad "MODULE M; BEGIN END N.");
+  checkb "assignment to literal" true (bad "MODULE M; BEGIN 1 := 2 END M.");
+  checkb "expression statement" true (bad "MODULE M; BEGIN 1 + 2 END M.");
+  checkb "unclosed if" true (bad "MODULE M; BEGIN IF TRUE THEN END M.")
+
+(* ------------------------------------------------------------------ *)
+(* Type checker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let errors src =
+  match Tc.check (parse_ok src) with
+  | Ok _ -> []
+  | Error es -> List.map (fun (e : Tc.error) -> e.msg) es
+
+let has_error sub src =
+  List.exists
+    (fun msg ->
+      let n = String.length sub and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+      go 0)
+    (errors src)
+
+let test_tc_accepts_samples () =
+  List.iter
+    (fun (name, src) ->
+      match Tc.check (parse_ok src) with
+      | Ok _ -> ()
+      | Error es ->
+        Alcotest.failf "sample %s failed to check: %a" name
+          Fmt.(list ~sep:semi Tc.pp_error)
+          es)
+    Samples.all
+
+let test_tc_rejections () =
+  checkb "unknown variable" true
+    (has_error "unknown variable" "MODULE M; BEGIN x := 1 END M.");
+  checkb "type mismatch" true
+    (has_error "cannot assign"
+       "MODULE M; VAR x : INTEGER; BEGIN x := TRUE END M.");
+  checkb "unknown type" true
+    (has_error "unknown type" "MODULE M; VAR x : Ghost; BEGIN END M.");
+  checkb "bad condition" true
+    (has_error "expected BOOLEAN"
+       "MODULE M; BEGIN IF 1 THEN END END M.");
+  checkb "unknown field" true
+    (has_error "no field"
+       "MODULE M; TYPE T = OBJECT x : INTEGER; END; VAR t : T; BEGIN t.y := \
+        1 END M.");
+  checkb "unknown method" true
+    (has_error "no method"
+       "MODULE M; TYPE T = OBJECT x : INTEGER; END; VAR t : T; BEGIN \
+        t.m() END M.");
+  checkb "cached must return" true
+    (has_error "must return a value"
+       "MODULE M; (*CACHED*) PROCEDURE P(n : INTEGER) = BEGIN END P; BEGIN \
+        END M.");
+  checkb "maintained on procedure" true
+    (has_error "belongs on methods"
+       "MODULE M; (*MAINTAINED*) PROCEDURE P(n : INTEGER) : INTEGER = BEGIN \
+        RETURN n END P; BEGIN END M.");
+  checkb "return mismatch" true
+    (has_error "RETURN"
+       "MODULE M; PROCEDURE P() : INTEGER = BEGIN RETURN TRUE END P; BEGIN \
+        END M.");
+  checkb "inheritance cycle" true
+    (has_error "cycle"
+       "MODULE M; TYPE A = B OBJECT END; TYPE B = A OBJECT END; BEGIN END \
+        M.");
+  checkb "nil arithmetic" true
+    (has_error "expected INTEGER" "MODULE M; VAR x : INTEGER; BEGIN x := NIL \
+                                   + 1 END M.")
+
+let test_tc_subtyping () =
+  let src =
+    "MODULE M; TYPE A = OBJECT x : INTEGER; END; TYPE B = A OBJECT y : \
+     INTEGER; END; VAR a : A; VAR b : B; BEGIN b := NEW(B); a := b; a.x := \
+     1; b.y := 2 END M."
+  in
+  checkb "subtype assignment accepted" true (errors src = []);
+  checkb "supertype not assignable to subtype" true
+    (has_error "cannot assign"
+       "MODULE M; TYPE A = OBJECT END; TYPE B = A OBJECT END; VAR a : A; \
+        VAR b : B; BEGIN a := NEW(A); b := a END M.")
+
+let test_tc_method_impl_checks () =
+  checkb "missing impl proc" true
+    (has_error "unknown procedure"
+       "MODULE M; TYPE T = OBJECT METHODS m() : INTEGER := Ghost; END; \
+        BEGIN END M.");
+  checkb "bad receiver" true
+    (has_error "receiver"
+       "MODULE M; TYPE T = OBJECT METHODS m() : INTEGER := P; END; \
+        PROCEDURE P(n : INTEGER) : INTEGER = BEGIN RETURN n END P; BEGIN \
+        END M.")
+
+(* ------------------------------------------------------------------ *)
+(* Conventional interpreter                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_hello () =
+  checks "print" "hello 42 TRUE\n"
+    (run_ok
+       {|MODULE M; BEGIN Print("hello ", 42, " ", TRUE, "\n") END M.|})
+
+let test_interp_arith_and_control () =
+  checks "loops and arithmetic" "1 2 6 24 120 \n10\n"
+    (run_ok
+       {|MODULE M;
+         VAR f : INTEGER;
+         VAR n : INTEGER;
+         BEGIN
+           f := 1;
+           FOR i := 1 TO 5 DO f := f * i; Print(f, " ") END;
+           Print("\n");
+           n := 0;
+           WHILE n * n < 100 DO n := n + 1 END;
+           Print(n, "\n")
+         END M.|})
+
+let test_interp_objects () =
+  checks "objects and dispatch" "area=12 area=9\n"
+    (run_ok
+       {|MODULE M;
+         TYPE Shape = OBJECT
+           w, h : INTEGER;
+         METHODS
+           area() : INTEGER := RectArea;
+         END;
+         TYPE Square = Shape OBJECT
+         OVERRIDES
+           area := SquareArea;
+         END;
+         VAR r : Shape;
+         VAR s : Shape;
+         PROCEDURE RectArea(x : Shape) : INTEGER =
+         BEGIN RETURN x.w * x.h END RectArea;
+         PROCEDURE SquareArea(x : Shape) : INTEGER =
+         BEGIN RETURN x.w * x.w END SquareArea;
+         BEGIN
+           r := NEW(Shape); r.w := 3; r.h := 4;
+           s := NEW(Square); s.w := 3; s.h := 0;
+           Print("area=", r.area(), " area=", s.area(), "\n")
+         END M.|})
+
+let test_interp_runtime_errors () =
+  let env =
+    compile {|MODULE M; VAR x : INTEGER; BEGIN x := 1 DIV 0 END M.|}
+  in
+  let out = Interp.run env in
+  checkb "division by zero reported" true
+    (match out.Interp.error with
+    | Some e -> String.length e > 0
+    | None -> false);
+  let env =
+    compile
+      {|MODULE M; TYPE T = OBJECT x : INTEGER; END; VAR t : T;
+        BEGIN t.x := 1 END M.|}
+  in
+  let out = Interp.run env in
+  checkb "nil dereference reported" true
+    (match out.Interp.error with
+    | Some e ->
+      let sub = "NIL" in
+      let n = String.length sub and m = String.length e in
+      let rec go i = i + n <= m && (String.sub e i n = sub || go (i + 1)) in
+      go 0
+    | None -> false)
+
+let test_interp_fuel () =
+  let env = compile {|MODULE M; BEGIN WHILE TRUE DO END END M.|} in
+  let out = Interp.run ~fuel:1000 env in
+  checkb "fuel aborts" true (out.Interp.error <> None)
+
+let test_interp_repeat () =
+  checks "repeat/until" "1 2 4 8 16 32 64 128 \n"
+    (run_ok
+       {|MODULE M;
+         VAR x : INTEGER;
+         BEGIN
+           x := 1;
+           REPEAT
+             Print(x, " ");
+             x := x * 2
+           UNTIL x > 128;
+           Print("\n")
+         END M.|});
+  (* the body runs at least once *)
+  checks "runs once" "hi\n"
+    (run_ok
+       {|MODULE M;
+         BEGIN
+           REPEAT Print("hi\n") UNTIL TRUE
+         END M.|})
+
+let test_interp_arrays () =
+  checks "array basics" "1 4 9 16 25 \nsum=55\n"
+    (run_ok
+       {|MODULE M;
+         VAR a : ARRAY [1..5] OF INTEGER;
+         VAR b : ARRAY [1..10] OF INTEGER;
+         VAR s : INTEGER;
+         BEGIN
+           FOR i := 1 TO 5 DO a[i] := i * i END;
+           FOR i := 1 TO 5 DO Print(a[i], " ") END;
+           Print("\n");
+           FOR i := 1 TO 10 DO b[i] := i END;
+           s := 0;
+           FOR i := 1 TO 10 DO s := s + b[i] END;
+           Print("sum=", s, "\n")
+         END M.|});
+  (* nested arrays and object elements *)
+  checks "matrix" "6\n"
+    (run_ok
+       {|MODULE M;
+         VAR m : ARRAY [0..2] OF ARRAY [0..2] OF INTEGER;
+         BEGIN
+           m[1][2] := 6;
+           Print(m[1][2], "\n")
+         END M.|})
+
+let test_interp_array_bounds () =
+  let env =
+    compile
+      {|MODULE M; VAR a : ARRAY [1..3] OF INTEGER; BEGIN a[4] := 1 END M.|}
+  in
+  let out = Interp.run env in
+  checkb "bounds error reported" true
+    (match out.Interp.error with
+    | Some e ->
+      let sub = "outside" in
+      let n = String.length sub and m = String.length e in
+      let rec go i = i + n <= m && (String.sub e i n = sub || go (i + 1)) in
+      go 0
+    | None -> false)
+
+let test_tc_arrays () =
+  checkb "array index must be int" true
+    (has_error "expected INTEGER"
+       "MODULE M; VAR a : ARRAY [1..3] OF INTEGER; BEGIN a[TRUE] := 1 END M.");
+  checkb "whole-array assignment rejected" true
+    (has_error "assigned"
+       "MODULE M; VAR a, b : ARRAY [1..3] OF INTEGER; BEGIN a := b END M.");
+  checkb "subscript on scalar rejected" true
+    (has_error "non-array"
+       "MODULE M; VAR x : INTEGER; BEGIN x[1] := 2 END M.");
+  checkb "empty range rejected" true
+    (match P.parse "MODULE M; VAR a : ARRAY [5..2] OF INTEGER; BEGIN END M." with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_interp_samples_run () =
+  (* every sample must run to completion without error conventionally *)
+  List.iter
+    (fun (name, src) ->
+      let env = compile src in
+      let out = Interp.run ~fuel:10_000_000 env in
+      match out.Interp.error with
+      | None -> ()
+      | Some e -> Alcotest.failf "sample %s: runtime error %s" name e)
+    Samples.all
+
+let test_interp_height_tree_output () =
+  checks "height tree output" "height=11\nheight=21\nheight=11\n"
+    (run_ok Samples.height_tree)
+
+let test_interp_avl_output () =
+  let out = run_ok ~fuel:100_000_000 Samples.avl in
+  (* 30 balanced keys: height 5; 60: height 6 *)
+  let expected_prefix = "height=5\n" in
+  checkb "avl output starts with height=5" true
+    (String.length out >= String.length expected_prefix
+    && String.sub out 0 (String.length expected_prefix) = expected_prefix);
+  checkb "sorted traversal present" true
+    (let sub = "1 2 3 4 5 6 7 8 9 10 " in
+     let n = String.length sub and m = String.length out in
+     let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "pragmas" `Quick test_lexer_pragmas;
+          Alcotest.test_case "nested comments" `Quick test_lexer_nested_comment;
+          Alcotest.test_case "text escapes" `Quick test_lexer_text_escapes;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "samples parse" `Quick test_parse_samples;
+          Alcotest.test_case "pretty roundtrip" `Quick test_roundtrip_samples;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "accepts samples" `Quick test_tc_accepts_samples;
+          Alcotest.test_case "rejections" `Quick test_tc_rejections;
+          Alcotest.test_case "subtyping" `Quick test_tc_subtyping;
+          Alcotest.test_case "method impls" `Quick test_tc_method_impl_checks;
+          Alcotest.test_case "arrays" `Quick test_tc_arrays;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "hello" `Quick test_interp_hello;
+          Alcotest.test_case "arithmetic and control" `Quick
+            test_interp_arith_and_control;
+          Alcotest.test_case "objects" `Quick test_interp_objects;
+          Alcotest.test_case "runtime errors" `Quick test_interp_runtime_errors;
+          Alcotest.test_case "fuel" `Quick test_interp_fuel;
+          Alcotest.test_case "repeat" `Quick test_interp_repeat;
+          Alcotest.test_case "arrays" `Quick test_interp_arrays;
+          Alcotest.test_case "array bounds" `Quick test_interp_array_bounds;
+          Alcotest.test_case "samples run" `Quick test_interp_samples_run;
+          Alcotest.test_case "height tree output" `Quick
+            test_interp_height_tree_output;
+          Alcotest.test_case "avl output" `Quick test_interp_avl_output;
+        ] );
+    ]
