@@ -14,6 +14,7 @@ module Engine = Alphonse.Engine
 module Var = Alphonse.Var
 module Func = Alphonse.Func
 module Policy = Alphonse.Policy
+module Json = Alphonse.Json
 module Itree = Trees.Itree
 module Avl = Trees.Avl
 module Base = Trees.Avl_baseline
@@ -34,7 +35,24 @@ let time_of f =
 (* Table printing                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Machine-readable results: every table printed below is also recorded
+   here, and the driver dumps them (with per-experiment wall clock) to
+   BENCH_results.json, so the perf trajectory is tracked across PRs
+   instead of living in scrollback. *)
+type recorded_table = {
+  rt_title : string;
+  rt_claim : string;
+  rt_headers : string list;
+  rt_rows : string list list;
+}
+
+let recorded_tables : recorded_table list ref = ref []
+
 let print_table ~title ~claim headers rows =
+  recorded_tables :=
+    { rt_title = title; rt_claim = claim; rt_headers = headers;
+      rt_rows = rows }
+    :: !recorded_tables;
   Fmt.pr "@.== %s ==@." title;
   Fmt.pr "   claim: %s@." claim;
   let cols = List.length headers in
@@ -1028,6 +1046,73 @@ let experiments =
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+type experiment_result = {
+  er_name : string;
+  er_wall_clock : float;
+  er_tables : recorded_table list;
+}
+
+(* Runs one experiment, capturing its wall clock and the tables it
+   printed. *)
+let run_experiment (name, f) =
+  let before = !recorded_tables in
+  let (), wall = time_of f in
+  let rec fresh acc l =
+    if l == before then acc else
+      match l with
+      | [] -> acc
+      | t :: rest -> fresh (t :: acc) rest
+  in
+  {
+    er_name = name;
+    er_wall_clock = wall;
+    er_tables = fresh [] !recorded_tables;
+  }
+
+let results_file = "BENCH_results.json"
+
+let json_of_table t =
+  Json.Obj
+    [
+      ("title", Json.Str t.rt_title);
+      ("claim", Json.Str t.rt_claim);
+      ("headers", Json.Arr (List.map (fun h -> Json.Str h) t.rt_headers));
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun row -> Json.Arr (List.map (fun c -> Json.Str c) row))
+             t.rt_rows) );
+    ]
+
+let write_results results =
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "alphonse-bench/1");
+        ("generator", Json.Str "bench/main.exe");
+        ( "experiments",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str r.er_name);
+                     ("wall_clock_s", Json.Num r.er_wall_clock);
+                     ("tables", Json.Arr (List.map json_of_table r.er_tables));
+                   ])
+               results) );
+      ]
+  in
+  Out_channel.with_open_text results_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string json);
+      Out_channel.output_char oc '\n');
+  Fmt.epr "[bench: %d experiment(s) -> %s]@." (List.length results)
+    results_file
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   Fmt.pr "Alphonse evaluation harness — paper claims vs measured@.";
@@ -1035,15 +1120,22 @@ let () =
           analysis)@.";
   match args with
   | [] ->
-    List.iter (fun (_, f) -> f ()) experiments;
+    write_results (List.map run_experiment experiments);
     run_micro ()
-  | [ "report" ] -> List.iter (fun (_, f) -> f ()) experiments
+  | [ "report" ] -> write_results (List.map run_experiment experiments)
   | [ "micro" ] -> run_micro ()
   | names ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f -> f ()
-        | None when name = "micro" -> run_micro ()
-        | None -> Fmt.epr "unknown experiment %s@." name)
-      names
+    let results =
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> Some (run_experiment (name, f))
+          | None when name = "micro" ->
+            run_micro ();
+            None
+          | None ->
+            Fmt.epr "unknown experiment %s@." name;
+            None)
+        names
+    in
+    if results <> [] then write_results results

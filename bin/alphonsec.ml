@@ -7,6 +7,9 @@
      analyze    report the §6.1 site analysis and §6.3 static partitions
      run        execute a module (conventional or Alphonse execution)
      compare    run both executions, check Theorem 5.1, report speedup
+     profile    run under telemetry: per-instance profile, hot-node DOT,
+                provenance queries (--why), Chrome trace export
+     graph      dump the dependency graph of a run as DOT
      samples    list or dump the built-in sample programs *)
 
 module P = Lang.Parser
@@ -15,6 +18,8 @@ module Interp = Lang.Interp
 module Analysis = Transform.Analysis
 module Incr = Transform.Incr_interp
 module Engine = Alphonse.Engine
+module Telemetry = Alphonse.Telemetry
+module Inspect = Alphonse.Inspect
 open Cmdliner
 
 let read_source path =
@@ -65,17 +70,68 @@ let fuel_arg =
   let doc = "Abort after this many interpreter steps." in
   Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc)
 
-let trace_arg =
+let log_arg =
   let doc =
-    "Stream the engine's decisions (marks, re-executions, settle steps)      to stderr while running."
+    "Stream the engine's decisions (marks, re-executions, settle steps)      to stderr while running — the alphonse.engine Logs source at Debug."
   in
-  Arg.(value & flag & info [ "trace" ] ~doc)
+  Arg.(value & flag & info [ "log" ] ~doc)
 
-let setup_trace enabled =
+let setup_log enabled =
   if enabled then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.Src.set_level Engine.log_src (Some Logs.Debug)
   end
+
+let trace_arg =
+  let doc =
+    "Record structured telemetry and write it to $(docv) as Chrome \
+     trace-event JSON (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Print a per-instance profile (re-executions, self time, settle \
+     latency) to stderr after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Telemetry recorder shared by --trace/--profile/the profile command:
+   generously sized so even long sessions keep their whole event stream. *)
+let make_telemetry () = Telemetry.create ~capacity:(1 lsl 20) ()
+
+let recorder_for ~trace ~profile =
+  if trace <> None || profile then Some (make_telemetry ()) else None
+
+let write_trace file tm =
+  match
+    Out_channel.with_open_text file (fun oc ->
+        Out_channel.output_string oc (Telemetry.to_chrome_trace tm))
+  with
+  | () ->
+    Fmt.epr "[trace: %d event(s) -> %s%s]@." (Telemetry.total_emitted tm) file
+      (if Telemetry.dropped tm > 0 then
+         Fmt.str ", %d dropped by the ring" (Telemetry.dropped tm)
+       else "")
+  | exception Sys_error msg ->
+    Fmt.epr "cannot write trace: %s@." msg;
+    exit 1
+
+let emit_trace trace tm =
+  match (trace, tm) with
+  | Some file, Some tm -> write_trace file tm
+  | _ -> ()
+
+let emit_profile ~ppf profile tm =
+  match tm with
+  | Some tm when profile ->
+    Fmt.pf ppf "== per-instance profile (hottest first) ==@.%a@."
+      (Telemetry.pp_profile ~top:25)
+      (Telemetry.profile tm)
+  | _ -> ()
 
 (* ---------------- subcommands ---------------- *)
 
@@ -143,8 +199,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ path_arg)
 
 let run_cmd =
-  let run path conventional strategy partitioning fuel trace =
-    setup_trace trace;
+  let run path conventional strategy partitioning fuel log trace profile =
+    setup_log log;
     with_module path (fun env ->
         if conventional then begin
           let out = Interp.run ~fuel env in
@@ -158,10 +214,14 @@ let run_cmd =
             1
         end
         else begin
+          let tm = recorder_for ~trace ~profile in
           let out =
-            Incr.run ~fuel ~default_strategy:strategy ~partitioning env
+            Incr.run ~fuel ~default_strategy:strategy ~partitioning
+              ?telemetry:tm env
           in
           print_string out.Incr.output;
+          emit_trace trace tm;
+          emit_profile ~ppf:Fmt.stderr profile tm;
           match out.Incr.error with
           | None ->
             Fmt.epr "[alphonse: %d steps]@.%a@." out.Incr.steps
@@ -182,13 +242,19 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a module")
     Term.(
       const run $ path_arg $ conventional $ strategy_arg $ partitioning_arg
-      $ fuel_arg $ trace_arg)
+      $ fuel_arg $ log_arg $ trace_arg $ profile_arg)
 
 let compare_cmd =
-  let run path strategy partitioning fuel =
+  let run path strategy partitioning fuel trace profile =
     with_module path (fun env ->
         let conv = Interp.run ~fuel env in
-        let inc = Incr.run ~fuel ~default_strategy:strategy ~partitioning env in
+        let tm = recorder_for ~trace ~profile in
+        let inc =
+          Incr.run ~fuel ~default_strategy:strategy ~partitioning
+            ?telemetry:tm env
+        in
+        emit_trace trace tm;
+        emit_profile ~ppf:Fmt.stderr profile tm;
         (match (conv.Interp.error, inc.Incr.error) with
         | None, None -> ()
         | ce, ie ->
@@ -209,7 +275,98 @@ let compare_cmd =
   in
   let doc = "Run both executions and check Theorem 5.1" in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ path_arg $ strategy_arg $ partitioning_arg $ fuel_arg)
+    Term.(
+      const run $ path_arg $ strategy_arg $ partitioning_arg $ fuel_arg
+      $ trace_arg $ profile_arg)
+
+let profile_cmd =
+  let run path strategy partitioning top dot why trace =
+    let top = match top with Some 0 -> None | t -> t in
+    with_module path (fun env ->
+        let tm = make_telemetry () in
+        let analysis = Analysis.analyze env in
+        let st =
+          Incr.init_state ~default_strategy:strategy ~partitioning
+            ~telemetry:tm env analysis
+        in
+        let error =
+          match
+            Incr.exec_stmts st (Hashtbl.create 8) env.Tc.m.Lang.Ast.main
+          with
+          | () -> false
+          | exception Incr.Runtime_error (msg, p) ->
+            Fmt.epr "runtime error at %a: %s@." Lang.Ast.pp_pos p msg;
+            true
+        in
+        let eng = Incr.state_engine st in
+        (match trace with Some f -> write_trace f tm | None -> ());
+        let status =
+          match why with
+          | Some name -> (
+            match Inspect.why_recomputed eng name with
+            | Some w ->
+              Fmt.pr "== provenance: last execution of %s ==@.%a@?" name
+                Telemetry.pp_why w;
+              0
+            | None ->
+              Fmt.epr
+                "no recorded execution of %S (is it an instance name? try \
+                 --dot to see them)@."
+                name;
+              1)
+          | None ->
+            if dot then
+              print_string
+                (Inspect.to_dot
+                   ~heat:(Inspect.heat_of_profile (Telemetry.profile tm))
+                   eng)
+            else begin
+              Fmt.pr "== per-instance profile: hottest first ==@.";
+              Fmt.pr "%a@."
+                (Telemetry.pp_profile ?top)
+                (Telemetry.profile tm)
+            end;
+            0
+        in
+        if error && status = 0 then 1 else status)
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt (some int) (Some 25)
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show only the $(docv) hottest instances (0 for all).")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit the dependency graph as Graphviz DOT with the hot-node \
+             overlay (fill intensity = share of the hottest instance's \
+             self time) instead of the table.")
+  in
+  let why_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "why" ] ~docv:"NAME"
+          ~doc:
+            "Provenance query: explain the last re-execution of the \
+             instance named $(docv) — the causal chain from the mutated \
+             storage cell through the inconsistency marks it propagated.")
+  in
+  let doc =
+    "Run a module under Alphonse execution with telemetry enabled and \
+     report where the time went: a per-instance profile (re-executions, \
+     self time, settle-latency histogram), a hot-node DOT overlay \
+     ($(b,--dot)), a provenance query ($(b,--why)), or a Chrome trace \
+     ($(b,--trace))."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ path_arg $ strategy_arg $ partitioning_arg $ top_arg
+      $ dot_arg $ why_arg $ trace_arg)
 
 let graph_cmd =
   let run path show_storage =
@@ -266,5 +423,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; print_cmd; transform_cmd; analyze_cmd; run_cmd;
-            compare_cmd; graph_cmd; samples_cmd;
+            compare_cmd; profile_cmd; graph_cmd; samples_cmd;
           ]))

@@ -28,4 +28,6 @@ module Var = Var
 module Func = Func
 module Policy = Policy
 module Inspect = Inspect
+module Telemetry = Telemetry
+module Json = Json
 module Htbl = Htbl

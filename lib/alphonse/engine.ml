@@ -92,6 +92,7 @@ type t = {
   mutable mask : bool; (* record dependency edges? false under unchecked *)
   mutable dirty_parts : partition list;
   mutable all_nodes : nd list;
+  mutable telemetry : Telemetry.t option;
   (* counters *)
   mutable c_executions : int;
   mutable c_first : int;
@@ -125,6 +126,7 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     mask = true;
     dirty_parts = [];
     all_nodes = [];
+    telemetry = None;
     c_executions = 0;
     c_first = 0;
     c_hits = 0;
@@ -135,6 +137,15 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     c_fixups = 0;
     c_evictions = 0;
   }
+
+(* Telemetry: every instrumentation site is one [match] on this field —
+   the branch-predictable no-op path when no recorder is attached. The
+   event is built lazily so the disabled path allocates nothing. *)
+let[@inline] emit t ev =
+  match t.telemetry with None -> () | Some tm -> Telemetry.emit tm (ev ())
+
+let set_telemetry t tm = t.telemetry <- tm
+let telemetry t = t.telemetry
 
 let default_strategy t = t.strategy0
 let partitioning t = t.use_partitions
@@ -147,10 +158,19 @@ let partition_of t node =
     | Some e -> Uf.payload e
     | None -> assert false
 
-let mark_inconsistent t node =
+(* [cause] is provenance for telemetry only: the node whose processing
+   propagated this mark, [None] for an external mutator write. *)
+let mark_inconsistent ?cause t node =
   let p = G.payload node in
   if (not p.queued) && not p.discarded then begin
     Log.debug (fun m -> m "mark inconsistent: %s#%d" p.name (G.id node));
+    emit t (fun () ->
+        Telemetry.Marked
+          {
+            id = G.id node;
+            name = p.name;
+            cause = Option.map G.id cause;
+          });
     p.queued <- true;
     t.seq_counter <- t.seq_counter + 1;
     p.seq <- t.seq_counter;
@@ -180,12 +200,17 @@ let new_node t payload =
   node
 
 let new_storage t ~name =
-  new_node t
-    { name; kind = Storage; queued = false; on_stack = false;
-      discarded = false; seq = 0; part_elt = None }
+  let node =
+    new_node t
+      { name; kind = Storage; queued = false; on_stack = false;
+        discarded = false; seq = 0; part_elt = None }
+  in
+  emit t (fun () -> Telemetry.Storage_created { id = G.id node; name });
+  node
 
 let new_instance t ~name ~strategy ?(static_deps = false) ~recompute () =
-  new_node t
+  let node =
+    new_node t
     {
       name;
       kind =
@@ -198,6 +223,9 @@ let new_instance t ~name ~strategy ?(static_deps = false) ~recompute () =
       seq = 0;
       part_elt = None;
     }
+  in
+  emit t (fun () -> Telemetry.Instance_created { id = G.id node; name });
+  node
 
 (* Merge the partitions of the two endpoints of a new edge (§6.3 dynamic
    refinement). Their inconsistent sets are melded in O(1). *)
@@ -207,6 +235,7 @@ let link_partitions t src dst =
     | Some a, Some b ->
       if not (Uf.same a b) then begin
         t.c_unions <- t.c_unions + 1;
+        emit t (fun () -> Telemetry.Union { a = G.id src; b = G.id dst });
         let merge keep absorbed =
           Heap.meld keep.queue absorbed.queue;
           if absorbed.on_dirty_list && not keep.on_dirty_list then begin
@@ -238,6 +267,8 @@ let record_dependency t src =
           | `Already_ordered | `Cycle -> ()
       end;
       G.add_edge ~stamp ~src ~dst:consumer;
+      emit t (fun () ->
+          Telemetry.Edge_added { src = G.id src; dst = G.id consumer });
       link_partitions t src consumer
     end
 
@@ -262,7 +293,12 @@ let run_instance t node p inst =
      the dependency edges of its first execution and records none — its
      frame runs with edge recording masked (nested frames restore it). *)
   let reuse_static = inst.static_deps && inst.ever_ran in
-  if not reuse_static then G.clear_preds t.graph node;
+  if not reuse_static then begin
+    if inst.ever_ran then
+      emit t (fun () ->
+          Telemetry.Preds_cleared { id = G.id node; name = p.name });
+    G.clear_preds t.graph node
+  end;
   t.exec_serial <- t.exec_serial + 1;
   let stamp = t.exec_serial in
   t.stack <- { fnode = node; stamp } :: t.stack;
@@ -276,15 +312,23 @@ let run_instance t node p inst =
     p.on_stack <- false;
     t.stack <- List.tl t.stack
   in
+  emit t (fun () ->
+      Telemetry.Exec_begin
+        { id = G.id node; name = p.name; first = not inst.ever_ran });
   let changed =
     try inst.recompute ()
     with e ->
       restore ();
       (* leave the instance inconsistent so a later call retries *)
       inst.consistent <- false;
+      emit t (fun () ->
+          Telemetry.Exec_end
+            { id = G.id node; name = p.name; changed = false; ok = false });
       raise e
   in
   restore ();
+  emit t (fun () ->
+      Telemetry.Exec_end { id = G.id node; name = p.name; changed; ok = true });
   t.c_executions <- t.c_executions + 1;
   Log.debug (fun m ->
       m "%s: %s#%d (changed=%b)"
@@ -299,18 +343,18 @@ let run_instance t node p inst =
 (* Force a dirty instance to currency, notifying dependents on change. *)
 let force t node p inst =
   let changed = run_instance t node p inst in
-  if changed then G.iter_succ (mark_inconsistent t) node
+  if changed then G.iter_succ (mark_inconsistent ~cause:node t) node
 
 (* Process one element of the inconsistent set, §4.5. *)
 let process_inconsistent t node p =
   match p.kind with
-  | Storage -> G.iter_succ (mark_inconsistent t) node
+  | Storage -> G.iter_succ (mark_inconsistent ~cause:node t) node
   | Instance inst -> (
     match inst.strategy with
     | Demand ->
       if inst.consistent then begin
         inst.consistent <- false;
-        G.iter_succ (mark_inconsistent t) node
+        G.iter_succ (mark_inconsistent ~cause:node t) node
       end
     | Eager -> force t node p inst)
 
@@ -333,6 +377,8 @@ let settle_partition t part =
             if p.on_stack then skipped := node :: !skipped
             else begin
               Log.debug (fun m -> m "settle: %s#%d" p.name (G.id node));
+              emit t (fun () ->
+                  Telemetry.Settle_pop { id = G.id node; name = p.name });
               p.queued <- false;
               t.c_steps <- t.c_steps + 1;
               process_inconsistent t node p
@@ -381,6 +427,9 @@ let settle_bounded t ~max_steps =
                   (if p.queued then
                      if p.on_stack then skipped := node :: !skipped
                      else begin
+                       emit t (fun () ->
+                           Telemetry.Settle_pop
+                             { id = G.id node; name = p.name });
                        p.queued <- false;
                        decr budget;
                        t.c_steps <- t.c_steps + 1;
@@ -449,7 +498,11 @@ let on_call t node =
       force t node p inst;
       executed := true
     end;
-    if (not !executed) && inst.ever_ran then t.c_hits <- t.c_hits + 1;
+    if (not !executed) && inst.ever_ran then begin
+      t.c_hits <- t.c_hits + 1;
+      emit t (fun () ->
+          Telemetry.Cache_hit { id = G.id node; name = p.name })
+    end;
     (* The dependency edge is recorded only now, after any forcing, so the
        consumer is never spuriously invalidated by the fresh value it is
        about to read. *)
@@ -466,6 +519,7 @@ let discard t node =
   if not (removable t node) then invalid_arg "Engine.discard: not removable";
   p.discarded <- true;
   t.c_evictions <- t.c_evictions + 1;
+  emit t (fun () -> Telemetry.Evicted { id = G.id node; name = p.name });
   G.remove_node t.graph node
 
 let unchecked t f =

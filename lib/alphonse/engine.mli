@@ -32,7 +32,17 @@ type t
 val log_src : Logs.src
 (** The engine's tracing source ("alphonse.engine"): set it to [Debug]
     to stream marks, (re-)executions and settle pops — the observability
-    counterpart of the paper's §10 debugging remark. *)
+    counterpart of the paper's §10 debugging remark. For structured
+    (machine-readable) telemetry use {!set_telemetry} instead. *)
+
+val set_telemetry : t -> Telemetry.t option -> unit
+(** Attaches (or detaches) a structured telemetry recorder: the engine
+    then emits a {!Telemetry.event} per decision — creations, marks,
+    execution begin/end, cache hits, settle pops, edges, unions,
+    evictions. With [None] (the default) every instrumentation site is a
+    single predictable branch and allocates nothing. *)
+
+val telemetry : t -> Telemetry.t option
 
 type node
 (** A dependency-graph node owned by some engine: either an abstract

@@ -4,6 +4,8 @@ type ('a, 'b) t = {
   strategy : Engine.strategy;
   policy : Policy.t;
   static_deps : bool;
+  pp_key : ('a -> string) option;
+      (* names instances "fname(key)" in telemetry and DOT dumps *)
   value_equal : 'b -> 'b -> bool;
   body : ('a, 'b) t -> 'a -> 'b;
   table : ('a, ('a, 'b) entry) Htbl.t;
@@ -26,7 +28,7 @@ let fcounter = ref 0
 
 let create eng ?name ?strategy ?(policy = Policy.Unbounded)
     ?(static_deps = false) ?(hash_arg = Hashtbl.hash) ?(equal_arg = ( = ))
-    ?(equal_result = ( = )) body =
+    ?(equal_result = ( = )) ?pp_key body =
   incr fcounter;
   let fname =
     match name with Some n -> n | None -> Fmt.str "func#%d" !fcounter
@@ -40,6 +42,7 @@ let create eng ?name ?strategy ?(policy = Policy.Unbounded)
     strategy;
     policy;
     static_deps;
+    pp_key;
     value_equal = equal_result;
     body;
     table = Htbl.create ~hash:hash_arg ~equal:equal_arg ();
@@ -96,8 +99,13 @@ let find_or_create t a =
   | None ->
     let cache = ref None in
     let recompute_ref = ref (fun () -> true) in
+    let iname =
+      match t.pp_key with
+      | Some pp -> Fmt.str "%s(%s)" t.fname (pp a)
+      | None -> t.fname
+    in
     let enode =
-      Engine.new_instance t.eng ~name:t.fname ~strategy:t.strategy
+      Engine.new_instance t.eng ~name:iname ~strategy:t.strategy
         ~static_deps:t.static_deps
         ~recompute:(fun () -> !recompute_ref ())
         ()

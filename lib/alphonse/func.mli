@@ -42,6 +42,7 @@ val create :
   ?hash_arg:('a -> int) ->
   ?equal_arg:('a -> 'a -> bool) ->
   ?equal_result:('b -> 'b -> bool) ->
+  ?pp_key:('a -> string) ->
   (('a, 'b) t -> 'a -> 'b) ->
   ('a, 'b) t
 (** [create engine body] declares an incremental procedure.
@@ -58,7 +59,11 @@ val create :
       arguments).
     - [equal_result] is the quiescence test on cached results (default
       [( = )]): propagation stops at instances whose recomputed result is
-      [equal_result] to the previous one. *)
+      [equal_result] to the previous one.
+    - [pp_key] names each instance ["fname(key)"] instead of ["fname"] in
+      telemetry, profiles and DOT dumps, so the instances of one argument
+      table are distinguishable. Observability only — never affects
+      evaluation. *)
 
 val call : ('a, 'b) t -> 'a -> 'b
 (** Calls the procedure (Algorithm 5). Returns the cached result when the

@@ -72,7 +72,10 @@ let parallel_profile eng =
   Engine.iter_nodes eng (fun n ->
       if Engine.node_kind n = `Instance then begin
         incr total;
-        let l = level n - 1 in
+        (* [level] returns 0 for an instance on a cycle cut (its own level
+           is still being computed when revisited); clamp so the width
+           table never sees level -1 *)
+        let l = max 0 (level n - 1) in
         Hashtbl.replace width l (1 + Option.value ~default:0 (Hashtbl.find_opt width l))
       end);
   let depth = Hashtbl.fold (fun l _ acc -> max acc (l + 1)) width 0 in
@@ -102,18 +105,26 @@ let pp_parallel_profile ppf p =
     p.level_widths
 
 let dot_escape s =
-  String.concat ""
-    (List.map
-       (fun c ->
-         match c with
-         | '"' -> "\\\""
-         | '\\' -> "\\\\"
-         | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 (** Render the dependency graph in Graphviz DOT syntax. Storage nodes are
-    boxes, instance nodes are ellipses; inconsistent nodes are shaded. *)
-let to_dot ?(show_storage = true) eng =
+    boxes, instance nodes are ellipses; inconsistent nodes are shaded.
+
+    [heat] is the "hot nodes" profile overlay: a map from node id to a
+    0–1 heat value (typically self time relative to the hottest
+    instance, see {!heat_of_profile}). Hot nodes are filled on a
+    white→red ramp and labeled with their share. *)
+let to_dot ?(show_storage = true) ?heat eng =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph alphonse {\n  rankdir=BT;\n";
   Engine.iter_nodes eng (fun n ->
@@ -124,11 +135,28 @@ let to_dot ?(show_storage = true) eng =
           | `Storage -> "box"
           | `Instance -> "ellipse"
         in
-        let fill = if Engine.node_dirty n then ", style=filled" else "" in
+        let heat_val =
+          match heat with
+          | None -> None
+          | Some f -> (
+            match f (Engine.node_id n) with
+            | Some h -> Some (Float.min 1. (Float.max 0. h))
+            | None -> None)
+        in
+        let fill, heat_label =
+          match heat_val with
+          | Some h ->
+            (* HSV: hue 0 (red), saturation = heat — white when cold *)
+            ( Fmt.str ", style=filled, fillcolor=\"0.0 %.3f 1.0\"" h,
+              Fmt.str "\\n%.0f%%" (100. *. h) )
+          | None ->
+            ((if Engine.node_dirty n then ", style=filled" else ""), "")
+        in
         Buffer.add_string buf
-          (Fmt.str "  n%d [label=\"%s#%d\", shape=%s%s];\n" (Engine.node_id n)
+          (Fmt.str "  n%d [label=\"%s#%d%s\", shape=%s%s];\n"
+             (Engine.node_id n)
              (dot_escape (Engine.node_name n))
-             (Engine.node_id n) shape fill)
+             (Engine.node_id n) heat_label shape fill)
       end);
   Engine.iter_nodes eng (fun n ->
       let keep = show_storage || Engine.node_kind n = `Instance in
@@ -142,3 +170,50 @@ let to_dot ?(show_storage = true) eng =
           n);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry conveniences (the engine-side halves live in Telemetry)   *)
+(* ------------------------------------------------------------------ *)
+
+(** Heat function for {!to_dot}: each profiled instance's self time as a
+    fraction of the hottest instance's. *)
+let heat_of_profile (profiles : Telemetry.instance_profile list) =
+  let hottest =
+    List.fold_left
+      (fun m (p : Telemetry.instance_profile) -> Float.max m p.self_time)
+      0. profiles
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Telemetry.instance_profile) ->
+      (* nodes that never executed (storage cells that were only marked)
+         carry no heat at all rather than a 0% label *)
+      if hottest > 0. && p.executions > 0 then
+        Hashtbl.replace tbl p.id (p.self_time /. hottest))
+    profiles;
+  fun id -> Hashtbl.find_opt tbl id
+
+(** [find_instance eng name] resolves an instance node by payload name
+    (for provenance queries addressed by name from the CLI); when several
+    instances share the name — e.g. every entry of one argument table —
+    the most recently created (highest id) wins. *)
+let find_instance eng name =
+  let best = ref None in
+  Engine.iter_nodes eng (fun n ->
+      if Engine.node_kind n = `Instance && Engine.node_name n = name then
+        match !best with
+        | Some b when Engine.node_id b >= Engine.node_id n -> ()
+        | _ -> best := Some n);
+  !best
+
+(** [why_recomputed eng name] is {!Telemetry.why_recomputed} addressed by
+    instance name, against the engine's attached recorder. [None] when no
+    recorder is attached, the name resolves to no instance, or the
+    instance never executed inside the recorded window. *)
+let why_recomputed eng name =
+  match Engine.telemetry eng with
+  | None -> None
+  | Some tm -> (
+    match find_instance eng name with
+    | None -> None
+    | Some n -> Telemetry.why_recomputed tm ~id:(Engine.node_id n))

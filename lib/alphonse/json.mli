@@ -1,0 +1,31 @@
+(** A minimal JSON tree, printer and parser — just enough for the
+    telemetry layer: the Chrome trace-event exporter and the bench
+    harness emit JSON, the test suite parses it back to validate.
+    Printing preserves object-key order; numbers are OCaml [float]s. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Object keys print in list
+    order; non-finite numbers print as [null]. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parses a complete JSON document. @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+val of_string_opt : string -> t option
+
+(** {1 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

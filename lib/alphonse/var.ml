@@ -45,6 +45,7 @@ let set t v =
 
 let update t f = set t (f (get t))
 let name t = t.vname
+let id t = Option.map Engine.node_id t.vnode
 let is_tracked t = t.vnode <> None
 let node t = t.vnode
 let engine t = t.eng

@@ -39,4 +39,8 @@ val is_tracked : 'a t -> bool
 val node : 'a t -> Engine.node option
 (** The cell's dependency-graph node, for tests and {!Inspect}. *)
 
+val id : 'a t -> int option
+(** The cell's node id, if tracked — the id telemetry events carry, for
+    correlating {!Telemetry} streams with cells. *)
+
 val engine : 'a t -> Engine.t

@@ -414,9 +414,10 @@ type outcome = {
   graph_stats : Depgraph.Graph.stats;
 }
 
-let init_state ?fuel ?default_strategy ?partitioning (env : Tc.env)
+let init_state ?fuel ?default_strategy ?partitioning ?telemetry (env : Tc.env)
     (analysis : Analysis.result) =
   let eng = Engine.create ?default_strategy ?partitioning () in
+  Engine.set_telemetry eng telemetry;
   let st =
     {
       env;
@@ -447,9 +448,12 @@ let init_state ?fuel ?default_strategy ?partitioning (env : Tc.env)
   st
 
 (** Run the module body under Alphonse execution. *)
-let run ?fuel ?default_strategy ?partitioning (env : Tc.env) : outcome =
+let run ?fuel ?default_strategy ?partitioning ?telemetry (env : Tc.env) :
+    outcome =
   let analysis = Analysis.analyze env in
-  match init_state ?fuel ?default_strategy ?partitioning env analysis with
+  match
+    init_state ?fuel ?default_strategy ?partitioning ?telemetry env analysis
+  with
   | exception Runtime_error (msg, p) ->
     {
       output = "";

@@ -33,11 +33,14 @@ val run :
   ?fuel:int ->
   ?default_strategy:Alphonse.Engine.strategy ->
   ?partitioning:bool ->
+  ?telemetry:Alphonse.Telemetry.t ->
   Lang.Typecheck.env ->
   outcome
 (** Run the module body under Alphonse execution (the analysis is run
     first). Theorem 5.1: [output] equals the conventional
-    [Lang.Interp.run] output. *)
+    [Lang.Interp.run] output. [telemetry] attaches a structured recorder
+    to the engine for the whole run (Chrome-trace export, profiles,
+    provenance — see {!Alphonse.Telemetry}). *)
 
 (** {1 Internal entry points (the CLI's [graph] command, benches)} *)
 
@@ -45,6 +48,7 @@ val init_state :
   ?fuel:int ->
   ?default_strategy:Alphonse.Engine.strategy ->
   ?partitioning:bool ->
+  ?telemetry:Alphonse.Telemetry.t ->
   Lang.Typecheck.env ->
   Analysis.result ->
   state

@@ -71,3 +71,42 @@ The dependency graph of a run, as DOT:
     rankdir=BT;
     n3 [label="global:c#3", shape=box];
     n2 [label="global:b#2", shape=box];
+
+Telemetry: --trace records the session as Chrome trace-event JSON (the
+program output is unchanged), and the profile subcommand reports where
+re-execution time went:
+
+  $ alphonsec run sums_maintained --trace trace.json 2>/dev/null
+  6
+  14
+  14
+
+  $ cut -c1-16 trace.json
+  {"traceEvents":[
+
+  $ alphonsec compare sums_maintained --trace trace2.json 2>/dev/null | head -1
+  Theorem 5.1 (same output): HOLDS
+
+  $ cut -c1-16 trace2.json
+  {"traceEvents":[
+
+  $ alphonsec profile sums_maintained | head -2
+  == per-instance profile: hottest first ==
+  instance                      execs  re-ex  marks       self      total  settle latency
+
+  $ alphonsec profile sums_maintained --dot | head -2
+  digraph alphonse {
+    rankdir=BT;
+
+The provenance query names the mutated cell behind a re-execution
+(timestamps elided for reproducibility):
+
+  $ alphonsec profile sums_maintained --why Total | sed 's/t=[0-9.]*s/t=X/'
+  == provenance: last execution of Total ==
+  global:b#2 written (t=X)
+  -> marked Total#0 inconsistent (by #2, t=X)
+  -> re-executed Total#0 (t=X)
+
+  $ alphonsec profile sums_maintained --why NoSuch
+  no recorded execution of "NoSuch" (is it an instance name? try --dot to see them)
+  [1]

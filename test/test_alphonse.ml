@@ -835,6 +835,11 @@ let test_parallel_profile_chain () =
     p.Alphonse.Inspect.critical_path;
   checki "max width" 1 p.Alphonse.Inspect.max_width
 
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 let test_dot_output () =
   let eng = Engine.create () in
   let a = Var.create eng ~name:"a" 1 in
@@ -842,14 +847,269 @@ let test_dot_output () =
   ignore (Func.call f ());
   let dot = Alphonse.Inspect.to_dot eng in
   checkb "digraph" true (String.length dot > 0);
-  let contains sub s =
-    let n = String.length sub and m = String.length s in
-    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-    go 0
-  in
   checkb "mentions f" true (contains "f#" dot);
   checkb "mentions a" true (contains "a#" dot);
   checkb "has an edge" true (contains "->" dot)
+
+let test_dot_escape () =
+  (* quotes, backslashes and newlines must not break DOT syntax *)
+  let eng = Engine.create () in
+  let a = Var.create eng ~name:"evil\"name\\with\nnewline" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a) in
+  ignore (Func.call f ());
+  let dot = Alphonse.Inspect.to_dot eng in
+  checkb "escaped quote" true (contains "evil\\\"name" dot);
+  checkb "escaped backslash" true (contains "\\\\with" dot);
+  checkb "no raw newline in label" false (contains "with\nnewline" dot);
+  checkb "newline escaped" true (contains "\\nnewline" dot)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Alphonse.Telemetry
+module Json = Alphonse.Json
+
+(* A small session whose event sequence is fully predictable: f reads a,
+   first call executes, a write marks, second call re-executes. *)
+let telemetry_session () =
+  let eng = Engine.create () in
+  let tm = Telemetry.create () in
+  Engine.set_telemetry eng (Some tm);
+  let a = Var.create eng ~name:"a" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a * 10) in
+  checki "initial" 10 (Func.call f ());
+  Var.set a 2;
+  checki "updated" 20 (Func.call f ());
+  checki "cached" 20 (Func.call f ());
+  (eng, tm, a, f)
+
+let test_telemetry_event_order () =
+  let _eng, tm, _a, _f = telemetry_session () in
+  let kinds =
+    List.filter_map
+      (fun (r : Telemetry.record) ->
+        match r.Telemetry.ev with
+        | Telemetry.Instance_created { name; _ } -> Some ("new-i " ^ name)
+        | Telemetry.Storage_created { name; _ } -> Some ("new-s " ^ name)
+        | Telemetry.Exec_begin { name; _ } -> Some ("begin " ^ name)
+        | Telemetry.Exec_end { name; changed; ok = true; _ } ->
+          Some (Fmt.str "end %s %b" name changed)
+        | Telemetry.Marked { name; _ } -> Some ("mark " ^ name)
+        | Telemetry.Edge_added _ -> Some "edge"
+        | Telemetry.Cache_hit { name; _ } -> Some ("hit " ^ name)
+        | Telemetry.Settle_pop { name; _ } -> Some ("pop " ^ name)
+        | _ -> None)
+      (Telemetry.events tm)
+  in
+  Alcotest.(check (list string))
+    "event sequence"
+    [
+      "new-i f" (* first call materializes the instance *);
+      "begin f";
+      "new-s a" (* a's node appears on its first tracked read *);
+      "edge" (* a -> f *);
+      "end f true";
+      "mark a" (* the external write *);
+      "pop a" (* settle before trusting the cache *);
+      "mark f";
+      "pop f";
+      "begin f" (* demand re-execution on the second call *);
+      "edge";
+      "end f true";
+      "hit f" (* third call answered from cache *);
+    ]
+    kinds;
+  (* sequence numbers are dense and ordered *)
+  let seqs = List.map (fun r -> r.Telemetry.seq) (Telemetry.events tm) in
+  Alcotest.(check (list int))
+    "dense seqs"
+    (List.init (List.length seqs) (fun i -> i))
+    seqs
+
+let test_telemetry_ring_cap () =
+  let tm = Telemetry.create ~capacity:8 () in
+  for i = 0 to 19 do
+    Telemetry.emit tm (Telemetry.Marked { id = i; name = "n"; cause = None })
+  done;
+  checki "total emitted" 20 (Telemetry.total_emitted tm);
+  checki "dropped" 12 (Telemetry.dropped tm);
+  let evs = Telemetry.events tm in
+  checki "ring holds capacity" 8 (List.length evs);
+  (* the survivors are exactly the last 8, oldest first *)
+  Alcotest.(check (list int))
+    "last events kept"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map
+       (fun (r : Telemetry.record) ->
+         match r.Telemetry.ev with
+         | Telemetry.Marked { id; _ } -> id
+         | _ -> -1)
+       evs)
+
+let test_telemetry_sink () =
+  let eng = Engine.create () in
+  let tm = Telemetry.create ~capacity:4 () in
+  Engine.set_telemetry eng (Some tm);
+  let streamed = ref 0 in
+  Telemetry.set_sink tm (Some (fun _ -> incr streamed));
+  let a = Var.create eng 1 in
+  let f = Func.create eng (fun _ () -> Var.get a) in
+  ignore (Func.call f ());
+  Var.set a 2;
+  ignore (Func.call f ());
+  (* the sink saw every event even though the tiny ring dropped some *)
+  checki "sink saw all" (Telemetry.total_emitted tm) !streamed;
+  checkb "ring overflowed" true (Telemetry.dropped tm > 0)
+
+let test_telemetry_disabled_no_drift () =
+  (* identical workloads with and without a recorder must produce
+     identical engine stats: instrumentation is observation only *)
+  let workload eng =
+    let a = Var.create eng 1 in
+    let fs =
+      Array.init 8 (fun i -> Func.create eng (fun _ () -> Var.get a + i))
+    in
+    Array.iter (fun f -> ignore (Func.call f ())) fs;
+    for v = 2 to 5 do
+      Var.set a v;
+      Array.iter (fun f -> ignore (Func.call f ())) fs
+    done;
+    Engine.stats eng
+  in
+  let bare = workload (Engine.create ()) in
+  let eng = Engine.create () in
+  Engine.set_telemetry eng (Some (Telemetry.create ()));
+  let instrumented = workload eng in
+  checkb "stats identical" true (bare = instrumented)
+
+(* Round-trip the Chrome trace of a small spreadsheet-like session
+   through the JSON parser and sanity-check its structure. *)
+let test_chrome_trace_roundtrip () =
+  let eng = Engine.create () in
+  let tm = Telemetry.create () in
+  Engine.set_telemetry eng (Some tm);
+  let cells = Array.init 4 (fun i -> Var.create eng ~name:(Fmt.str "A%d" (i + 1)) i) in
+  let sum =
+    Func.create eng ~name:"SUM" (fun _ () ->
+        Array.fold_left (fun acc c -> acc + Var.get c) 0 cells)
+  in
+  checki "sum" 6 (Func.call sum ());
+  Var.set cells.(2) 10;
+  checki "sum after edit" 14 (Func.call sum ());
+  let trace = Telemetry.to_chrome_trace tm in
+  let json = Json.of_string trace (* raises on malformed output *) in
+  let events =
+    match Json.(member "traceEvents" json) with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  checkb "has events" true (List.length events > 0);
+  (* every event has name/ph/ts/pid/tid; B and E are balanced *)
+  let balance = ref 0 in
+  List.iter
+    (fun ev ->
+      checkb "has name" true (Json.member "name" ev <> None);
+      checkb "has ts" true
+        (match Json.member "ts" ev with
+        | Some (Json.Num _) -> true
+        | _ -> false);
+      match Json.member "ph" ev with
+      | Some (Json.Str "B") -> incr balance
+      | Some (Json.Str "E") -> decr balance
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "event without ph")
+    events;
+  checki "B/E balanced" 0 !balance;
+  (* the executed instance appears as a duration event *)
+  checkb "SUM exec present" true
+    (List.exists
+       (fun ev ->
+         Json.member "name" ev = Some (Json.Str "SUM")
+         && Json.member "ph" ev = Some (Json.Str "B"))
+       events)
+
+let test_why_recomputed_names_cell () =
+  let eng = Engine.create () in
+  let tm = Telemetry.create () in
+  Engine.set_telemetry eng (Some tm);
+  let a = Var.create eng ~name:"cellA" 1 in
+  let b = Var.create eng ~name:"cellB" 2 in
+  let fa = Func.create eng ~name:"fa" (fun _ () -> Var.get a * 10) in
+  let top =
+    Func.create eng ~name:"top" (fun _ () -> Func.call fa () + Var.get b)
+  in
+  checki "initial" 12 (Func.call top ());
+  (* mutate only cellA; top's re-execution must be blamed on cellA *)
+  Var.set a 5;
+  checki "after edit" 52 (Func.call top ());
+  let why =
+    match Alphonse.Inspect.why_recomputed eng "top" with
+    | Some w -> w
+    | None -> Alcotest.fail "no provenance for top"
+  in
+  let rendered = Fmt.str "%a" Telemetry.pp_why why in
+  checkb "names the mutated cell" true (contains "cellA" rendered);
+  checkb "does not blame cellB" false (contains "cellB" rendered);
+  checkb "ends at top" true (contains "re-executed top" rendered);
+  (* the chain starts at the external write *)
+  (match why with
+  | { Telemetry.step_role = `Written; step_name; _ } :: _ ->
+    Alcotest.(check string) "root is the write" "cellA" step_name
+  | _ -> Alcotest.fail "chain does not start at a write");
+  (* an instance that never executed in the window yields None *)
+  checkb "unknown instance" true
+    (Alphonse.Inspect.why_recomputed eng "nonesuch" = None)
+
+let test_telemetry_profile () =
+  let eng = Engine.create () in
+  let tm = Telemetry.create () in
+  Engine.set_telemetry eng (Some tm);
+  let a = Var.create eng ~name:"a" 1 in
+  let inner = Func.create eng ~name:"inner" (fun _ () -> Var.get a * 2) in
+  let outer =
+    Func.create eng ~name:"outer" (fun _ () -> Func.call inner () + 1)
+  in
+  checki "initial" 3 (Func.call outer ());
+  Var.set a 10;
+  checki "after edit" 21 (Func.call outer ());
+  let profiles = Telemetry.profile tm in
+  let find name =
+    match
+      List.find_opt
+        (fun (p : Telemetry.instance_profile) -> p.Telemetry.name = name)
+        profiles
+    with
+    | Some p -> p
+    | None -> Alcotest.fail ("no profile for " ^ name)
+  in
+  let pi = find "inner" and po = find "outer" in
+  checki "inner executions" 2 pi.Telemetry.executions;
+  checki "inner re-executions" 1 pi.Telemetry.re_executions;
+  checki "outer executions" 2 po.Telemetry.executions;
+  checkb "inner self time sane" true (pi.Telemetry.self_time >= 0.);
+  (* outer's total includes inner's nested run, so total >= self *)
+  checkb "outer total >= self" true
+    (po.Telemetry.total_time >= po.Telemetry.self_time);
+  (* each re-execution consumed one pending mark *)
+  checkb "latency recorded" true
+    (Array.fold_left ( + ) 0 pi.Telemetry.latency >= 1)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Num 3.25);
+        ("i", Json.Num 42.);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  checkb "round trip" true (Json.of_string (Json.to_string j) = j);
+  checkb "rejects garbage" true (Json.of_string_opt "{\"a\": }" = None);
+  checkb "rejects trailing" true (Json.of_string_opt "1 2" = None)
 
 let () =
   Alcotest.run "alphonse"
@@ -957,8 +1217,24 @@ let () =
       ( "inspect",
         [
           Alcotest.test_case "dot output" `Quick test_dot_output;
+          Alcotest.test_case "dot escaping" `Quick test_dot_escape;
           Alcotest.test_case "parallel profile" `Quick test_parallel_profile;
           Alcotest.test_case "parallel profile chain" `Quick
             test_parallel_profile_chain;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "event order" `Quick test_telemetry_event_order;
+          Alcotest.test_case "ring buffer caps" `Quick test_telemetry_ring_cap;
+          Alcotest.test_case "streaming sink" `Quick test_telemetry_sink;
+          Alcotest.test_case "disabled: no drift" `Quick
+            test_telemetry_disabled_no_drift;
+          Alcotest.test_case "chrome trace round-trips" `Quick
+            test_chrome_trace_roundtrip;
+          Alcotest.test_case "why_recomputed names the cell" `Quick
+            test_why_recomputed_names_cell;
+          Alcotest.test_case "per-instance profile" `Quick
+            test_telemetry_profile;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         ] );
     ]

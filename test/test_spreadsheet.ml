@@ -225,6 +225,24 @@ let test_sheet_cycles () =
   S.set s "C1" "=A1+1";
   check_value "self recovered" (S.Num 8.) (S.value_at s "C1")
 
+(* Regression: [Inspect.parallel_profile] on a graph with a cycle. The
+   level computation cuts cycles at level 0, so an instance on the cut
+   used to land on level -1 and vanish from the width table (its width
+   went missing while total_instances still counted it). *)
+let test_parallel_profile_cycle () =
+  let s = S.create () in
+  S.set s "A1" "=B1";
+  S.set s "B1" "=A1";
+  check_value "cycle A" (S.Error S.Cycle) (S.value_at s "A1");
+  S.set s "C1" "=A1+1";
+  check_value "downstream of cycle" (S.Error S.Cycle) (S.value_at s "C1");
+  let p = Alphonse.Inspect.parallel_profile (S.engine s) in
+  let widths = p.Alphonse.Inspect.level_widths in
+  checkb "no negative levels: widths account for every instance" true
+    (List.fold_left ( + ) 0 widths = p.Alphonse.Inspect.total_instances);
+  checkb "all widths non-negative" true (List.for_all (fun w -> w >= 0) widths);
+  checkb "critical path positive" true (p.Alphonse.Inspect.critical_path >= 1)
+
 let test_sheet_incremental_chain () =
   let s = S.create () in
   let eng = S.engine s in
@@ -403,6 +421,8 @@ let () =
           Alcotest.test_case "errors" `Quick test_sheet_errors;
           Alcotest.test_case "if" `Quick test_sheet_if;
           Alcotest.test_case "cycles" `Quick test_sheet_cycles;
+          Alcotest.test_case "parallel profile with cycle" `Quick
+            test_parallel_profile_cycle;
           Alcotest.test_case "render" `Quick test_sheet_render;
         ] );
       ( "incremental",

@@ -1,0 +1,53 @@
+(* Validate a BENCH_results.json produced by bench/main.exe: parses with
+   the in-repo JSON module, checks the schema tag and that every
+   experiment carries a name and well-shaped tables. Used by CI as the
+   smoke check after the bench run. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let file =
+  if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json"
+
+let get what = function
+  | Some v -> v
+  | None -> fail "%s: missing or mistyped %s" file what
+
+let () =
+  if not (Sys.file_exists file) then fail "%s: no such file" file;
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j =
+    match Alphonse.Json.of_string_opt s with
+    | Some j -> j
+    | None -> fail "%s: not valid JSON" file
+  in
+  let open Alphonse.Json in
+  let schema = get "schema" (Option.bind (member "schema" j) to_str) in
+  if schema <> "alphonse-bench/1" then
+    fail "%s: unexpected schema tag %S" file schema;
+  let exps = get "experiments" (Option.bind (member "experiments" j) to_list) in
+  if exps = [] then fail "%s: no experiments recorded" file;
+  List.iter
+    (fun e ->
+      let name = get "experiment name" (Option.bind (member "name" e) to_str) in
+      if name = "" then fail "%s: experiment with empty name" file;
+      ignore
+        (get "wall_clock_s" (Option.bind (member "wall_clock_s" e) to_float));
+      let tables = get "tables" (Option.bind (member "tables" e) to_list) in
+      List.iter
+        (fun t ->
+          ignore (get "table title" (Option.bind (member "title" t) to_str));
+          let headers =
+            get "table headers" (Option.bind (member "headers" t) to_list)
+          in
+          let rows = get "table rows" (Option.bind (member "rows" t) to_list) in
+          List.iter
+            (fun row ->
+              let cells = get "row cells" (to_list row) in
+              if List.length cells <> List.length headers then
+                fail "%s: ragged table in %S" file name)
+            rows)
+        tables)
+    exps;
+  Printf.printf "%s OK: %d experiment(s)\n" file (List.length exps)
