@@ -199,7 +199,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ path_arg)
 
 let run_cmd =
-  let run path conventional strategy partitioning fuel log trace profile =
+  let run path conventional strategy partitioning fuel log trace profile
+      fault_seed audit =
     setup_log log;
     with_module path (fun env ->
         if conventional then begin
@@ -217,7 +218,7 @@ let run_cmd =
           let tm = recorder_for ~trace ~profile in
           let out =
             Incr.run ~fuel ~default_strategy:strategy ~partitioning
-              ?telemetry:tm env
+              ?telemetry:tm ?fault_seed ~audit env
           in
           print_string out.Incr.output;
           emit_trace trace tm;
@@ -238,11 +239,30 @@ let run_cmd =
       & info [ "conventional" ]
           ~doc:"Use the conventional (exhaustive) execution model.")
   in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Fault-injection mode: install a seeded injector that makes \
+             engine decision points occasionally raise, exercising the \
+             recovery machinery (quarantine, retry, edge rollback). The \
+             run's output must still match a clean run.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the invariant auditor after every settle step; an \
+             incoherence aborts the run with a violation report.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a module")
     Term.(
       const run $ path_arg $ conventional $ strategy_arg $ partitioning_arg
-      $ fuel_arg $ log_arg $ trace_arg $ profile_arg)
+      $ fuel_arg $ log_arg $ trace_arg $ profile_arg $ fault_seed $ audit)
 
 let compare_cmd =
   let run path strategy partitioning fuel trace profile =

@@ -1,0 +1,19 @@
+(* The invariant auditor, as a user-facing module: the checks themselves
+   live in Engine (they need the engine's internals); this is the stable
+   entry point the tests, the CLI and CI audit jobs use. *)
+
+let check = Engine.audit
+let errors = Engine.audit_errors
+let ok t = Engine.audit_errors t = []
+
+let enable_per_step t = Engine.set_self_audit t true
+let disable_per_step t = Engine.set_self_audit t false
+
+let pp_report ppf t =
+  match errors t with
+  | [] -> Fmt.string ppf "audit: all invariants hold"
+  | errs ->
+    Fmt.pf ppf "@[<v>audit: %d invariant violation(s):@,%a@]"
+      (List.length errs)
+      Fmt.(list ~sep:cut (fun ppf e -> Fmt.pf ppf "  - %s" e))
+      errs

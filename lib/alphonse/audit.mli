@@ -1,0 +1,36 @@
+(** The engine invariant auditor.
+
+    Checks, on demand, that an engine's metadata is coherent — the
+    integrity properties the incremental semantics hinges on (the
+    dependency information {e is} the correctness argument, §4):
+
+    - dependency-graph link symmetry and live counts ([Graph.validate]);
+    - call stack ↔ [on_stack] flags agree, no discarded node on the
+      stack;
+    - every queued node is present in its partition's inconsistent set,
+      and that partition is flagged dirty and reachable from the dirty
+      list (a mark can never be silently lost);
+    - discarded nodes are fully detached (not queued, not on stack);
+    - poisoned instances are not flagged consistent;
+    - the edge-recording mask and settling flag are restored when idle.
+
+    Use {!check} at interesting points, or {!enable_per_step} to audit
+    after every settle step (the CI audit job runs the fuzz and
+    fault-injection suites this way). *)
+
+val check : Engine.t -> unit
+(** @raise Engine.Audit_failure when any invariant does not hold; the
+    payload lists every violation. *)
+
+val errors : Engine.t -> string list
+(** Non-raising {!check}: the violations, [[]] when coherent. *)
+
+val ok : Engine.t -> bool
+
+val enable_per_step : Engine.t -> unit
+(** Audit after every settle step from now on (test/CI mode). *)
+
+val disable_per_step : Engine.t -> unit
+
+val pp_report : Format.formatter -> Engine.t -> unit
+(** Runs the audit and formats a human-readable report. *)

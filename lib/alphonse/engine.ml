@@ -25,6 +25,9 @@ type scheduling =
   | Fifo  (* no priorities: first marked, first processed *)
 
 exception Cycle of string
+exception Poisoned of string
+exception Audit_failure of string list
+exception Watchdog of string
 
 (* Node payload: the engine-side bookkeeping of §4.1. [queued] is
    membership in the inconsistent set; [consistent] is the paper's
@@ -52,6 +55,10 @@ and instance = {
          RemovePredEdges, no re-recording *)
   mutable consistent : bool;
   mutable ever_ran : bool;
+  (* quarantine bookkeeping: consecutive failed executions, and — once
+     the retry budget is exhausted — the poisoning exception *)
+  mutable failures : int;
+  mutable poison : exn option;
 }
 
 and nd = payload G.node
@@ -66,6 +73,15 @@ type node = nd
 
 type frame = { fnode : nd; stamp : int }
 
+(* Undo log of an open transaction: [undos] restore the typed cells
+   (newest first), [tmarked] are the nodes newly marked inconsistent
+   during the batch, [ran] the instances (re-)executed during it. *)
+type txn = {
+  mutable undos : (unit -> unit) list;
+  mutable tmarked : nd list;
+  mutable ran : nd list;
+}
+
 type stats = {
   executions : int;
   first_executions : int;
@@ -76,6 +92,12 @@ type stats = {
   out_of_order_edges : int;
   order_fixups : int;
   evictions : int;
+  failures : int;
+  retries : int;
+  poisonings : int;
+  rollbacks : int;
+  degradations : int;
+  audits : int;
 }
 
 type t = {
@@ -85,14 +107,25 @@ type t = {
   use_partitions : bool;
   strategy0 : strategy;
   scheduling : scheduling;
+  max_retries : int;
+  max_settle_steps : int option;
+  max_stack_depth : int option;
   mutable seq_counter : int;
   mutable stack : frame list;
+  mutable stack_depth : int;
   mutable exec_serial : int;
   mutable settling : bool;
+  mutable settle_fuel : int; (* -1 = unlimited; armed per settle session *)
   mutable mask : bool; (* record dependency edges? false under unchecked *)
   mutable dirty_parts : partition list;
   mutable all_nodes : nd list;
   mutable telemetry : Telemetry.t option;
+  (* fault tolerance *)
+  mutable quarantined : nd list;
+  mutable txn : txn option;
+  mutable fault_hook : (string -> unit) option;
+  mutable fault_mask : bool; (* true = injection suppressed (repair paths) *)
+  mutable self_audit : bool;
   (* counters *)
   mutable c_executions : int;
   mutable c_first : int;
@@ -103,10 +136,18 @@ type t = {
   mutable c_ooo : int;
   mutable c_fixups : int;
   mutable c_evictions : int;
+  mutable c_failures : int;
+  mutable c_retries : int;
+  mutable c_poisonings : int;
+  mutable c_rollbacks : int;
+  mutable c_degradations : int;
+  mutable c_audits : int;
 }
 
 let create ?(partitioning = false) ?(default_strategy = Demand)
-    ?(scheduling = Creation_order) () =
+    ?(scheduling = Creation_order) ?(max_retries = 3) ?max_settle_steps
+    ?max_stack_depth ?(self_audit = false) () =
+  if max_retries < 1 then invalid_arg "Engine.create: max_retries must be >= 1";
   let leq =
     match scheduling with
     | Creation_order | Topological -> fun a b -> not (G.order_lt b a)
@@ -119,14 +160,24 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     use_partitions = partitioning;
     strategy0 = default_strategy;
     scheduling;
+    max_retries;
+    max_settle_steps;
+    max_stack_depth;
     seq_counter = 0;
     stack = [];
+    stack_depth = 0;
     exec_serial = 0;
     settling = false;
+    settle_fuel = -1;
     mask = true;
     dirty_parts = [];
     all_nodes = [];
     telemetry = None;
+    quarantined = [];
+    txn = None;
+    fault_hook = None;
+    fault_mask = false;
+    self_audit;
     c_executions = 0;
     c_first = 0;
     c_hits = 0;
@@ -136,6 +187,12 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     c_ooo = 0;
     c_fixups = 0;
     c_evictions = 0;
+    c_failures = 0;
+    c_retries = 0;
+    c_poisonings = 0;
+    c_rollbacks = 0;
+    c_degradations = 0;
+    c_audits = 0;
   }
 
 (* Telemetry: every instrumentation site is one [match] on this field —
@@ -150,6 +207,51 @@ let telemetry t = t.telemetry
 let default_strategy t = t.strategy0
 let partitioning t = t.use_partitions
 let scheduling t = t.scheduling
+let max_retries t = t.max_retries
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection hooks                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every engine decision point calls [poke] with a site label; an
+   installed hook may raise there, which models a fault (allocation
+   failure, cancellation, a bug in engine-adjacent code). Sites are
+   placed only where an exception leaves the engine coherent — before
+   the site's state mutation, never between a committed cache update
+   and the completion of its successor marking (a fault there would
+   lose invalidations undetectably: the retry would see changed=false). *)
+let fault_sites =
+  [ "exec-begin"; "mark"; "edge"; "settle-pop"; "clear-preds"; "evict" ]
+
+let[@inline] poke t site =
+  match t.fault_hook with
+  | None -> ()
+  | Some f -> (
+    if not t.fault_mask then
+      try f site
+      with e ->
+        emit t (fun () -> Telemetry.Fault_injected { site });
+        raise e)
+
+let set_fault_hook t hook = t.fault_hook <- hook
+let fault_hook t = t.fault_hook
+
+(* Run [f] with fault injection suppressed — the repair paths use this so
+   that redoing an interrupted idempotent step cannot itself be faulted
+   into an incoherent state. *)
+let masked t f =
+  let saved = t.fault_mask in
+  t.fault_mask <- true;
+  let finally () = t.fault_mask <- saved in
+  Fun.protect ~finally f
+
+let set_self_audit t b = t.self_audit <- b
+let self_audit t = t.self_audit
+
+let in_transaction t = t.txn <> None
+
+let txn_log t undo =
+  match t.txn with None -> () | Some tx -> tx.undos <- undo :: tx.undos
 
 let partition_of t node =
   if not t.use_partitions then t.global_part
@@ -163,6 +265,9 @@ let partition_of t node =
 let mark_inconsistent ?cause t node =
   let p = G.payload node in
   if (not p.queued) && not p.discarded then begin
+    (* before any mutation: a fault here is a clean no-op, and callers
+       that must not lose the mark redo it under [masked] *)
+    poke t "mark";
     Log.debug (fun m -> m "mark inconsistent: %s#%d" p.name (G.id node));
     emit t (fun () ->
         Telemetry.Marked
@@ -175,6 +280,7 @@ let mark_inconsistent ?cause t node =
     t.seq_counter <- t.seq_counter + 1;
     p.seq <- t.seq_counter;
     t.c_pushes <- t.c_pushes + 1;
+    (match t.txn with Some tx -> tx.tmarked <- node :: tx.tmarked | None -> ());
     let part = partition_of t node in
     Heap.insert part.queue node;
     if not part.on_dirty_list then begin
@@ -182,6 +288,16 @@ let mark_inconsistent ?cause t node =
       t.dirty_parts <- part :: t.dirty_parts
     end
   end
+
+(* Mark every successor of [node]. Marking is idempotent (guarded by
+   [queued]), so if a fault interrupts the sweep we redo the whole sweep
+   with injection suppressed before re-raising — propagation is never
+   left partial. *)
+let mark_succs ?cause t node =
+  try G.iter_succ (mark_inconsistent ?cause t) node
+  with e ->
+    masked t (fun () -> G.iter_succ (mark_inconsistent ?cause t) node);
+    raise e
 
 (* Node creation: priorities approximate topological order — a node created
    while a consumer executes is one of its dependencies, so it is ordered
@@ -216,7 +332,7 @@ let new_instance t ~name ~strategy ?(static_deps = false) ~recompute () =
       kind =
         Instance
           { strategy; recompute; static_deps; consistent = false;
-            ever_ran = false };
+            ever_ran = false; failures = 0; poison = None };
       queued = false;
       on_stack = false;
       discarded = false;
@@ -255,6 +371,9 @@ let record_dependency t src =
   | [] -> ()
   | { fnode = consumer; stamp } :: _ ->
     if t.mask then begin
+      (* before any mutation: a fault here aborts the consumer's
+         execution, whose failure handler restores its edge set *)
+      poke t "edge";
       if G.order_lt consumer src then begin
         t.c_ooo <- t.c_ooo + 1;
         (* under Topological scheduling, repair the drain order so this
@@ -275,25 +394,141 @@ let record_dependency t src =
 let record_read t node = record_dependency t node
 
 let record_write t node ~changed =
-  record_dependency t node;
-  if changed then mark_inconsistent t node
+  match record_dependency t node with
+  | () -> (
+    if changed then
+      try mark_inconsistent t node
+      with e ->
+        (* the typed cell already holds the new value: losing the mark
+           would leave dependents permanently stale, so redo it with
+           injection suppressed before surfacing the fault *)
+        masked t (fun () -> mark_inconsistent t node);
+        raise e)
+  | exception e ->
+    if changed then masked t (fun () -> mark_inconsistent t node);
+    raise e
 
 let dirty p =
   match p.kind with
   | Storage -> p.queued
   | Instance inst -> p.queued || not inst.consistent
 
+(* ------------------------------------------------------------------ *)
+(* Quarantine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Failure accounting for an instance whose execution raised. Structural
+   exceptions — [Cycle], a dependency's [Poisoned], [Audit_failure] —
+   are reported to the caller but never consume the retry budget: they
+   are deterministic properties of the graph, not transient faults. *)
+let record_failure t node p (inst : instance) e =
+  match e with
+  | Cycle _ | Poisoned _ | Audit_failure _ -> ()
+  | _ ->
+    t.c_failures <- t.c_failures + 1;
+    inst.failures <- inst.failures + 1;
+    if inst.failures >= t.max_retries then begin
+      inst.poison <- Some e;
+      t.c_poisonings <- t.c_poisonings + 1;
+      t.quarantined <- List.filter (fun n -> not (n == node)) t.quarantined;
+      Log.debug (fun m ->
+          m "poisoned after %d failures: %s#%d" inst.failures p.name
+            (G.id node));
+      emit t (fun () ->
+          Telemetry.Instance_poisoned
+            { id = G.id node; name = p.name; error = Printexc.to_string e })
+    end
+    else begin
+      if not (List.memq node t.quarantined) then
+        t.quarantined <- node :: t.quarantined;
+      emit t (fun () ->
+          Telemetry.Quarantined
+            {
+              id = G.id node;
+              name = p.name;
+              attempt = inst.failures;
+              error = Printexc.to_string e;
+            })
+    end
+
+(* Retry-on-next-settle: re-mark every quarantined (non-poisoned)
+   instance so the coming propagation re-executes it. Bounded: each
+   failed retry increments [failures] until the instance is poisoned and
+   leaves the quarantine list. *)
+let requeue_quarantined t =
+  match t.quarantined with
+  | [] -> ()
+  | q ->
+    t.quarantined <- [];
+    List.iter
+      (fun node ->
+        let p = G.payload node in
+        match p.kind with
+        | Instance inst when inst.poison = None && not p.discarded ->
+          t.c_retries <- t.c_retries + 1;
+          emit t (fun () ->
+              Telemetry.Retried
+                { id = G.id node; name = p.name; attempt = inst.failures });
+          masked t (fun () -> mark_inconsistent t node)
+        | _ -> ())
+      q
+
+let quarantined t = List.filter (fun n -> not (G.payload n).discarded) t.quarantined
+
+let poison_error _t node =
+  match (G.payload node).kind with
+  | Instance inst -> inst.poison
+  | Storage -> None
+
+let poisoned t node = poison_error t node <> None
+
+let failure_count _t node =
+  match (G.payload node).kind with
+  | Instance inst -> inst.failures
+  | Storage -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
 (* Re-execute an incremental procedure instance under the call-stack
    discipline of Algorithm 5: drop the dependencies recorded by the
    previous execution, push a fresh frame, run, pop. Returns the quiescence
-   test: did the cached value change? *)
+   test: did the cached value change?
+
+   Exception safety: any raise out of the body (user exception, [Cycle],
+   an injected fault) pops the frame, discards the partially-recorded
+   edges of the failed run, restores the edge set of the last successful
+   one, re-marks the instance inconsistent and records the failure —
+   the engine stays fully usable and a later call retries. *)
 let run_instance t node p inst =
   if p.on_stack then raise (Cycle p.name);
+  (match inst.poison with
+  | Some _ -> raise (Poisoned p.name)
+  | None -> ());
+  (match t.max_stack_depth with
+  | Some lim when t.stack_depth >= lim ->
+    raise
+      (Watchdog
+         (Fmt.str "call-stack depth limit %d reached at %s#%d" lim p.name
+            (G.id node)))
+  | _ -> ());
   (* §6.2 static subgraphs: a re-execution of a static-R(p) instance keeps
      the dependency edges of its first execution and records none — its
      frame runs with edge recording masked (nested frames restore it). *)
   let reuse_static = inst.static_deps && inst.ever_ran in
+  (* snapshot the current predecessor set so a failed execution can put
+     it back (the paper's RemovePredEdges is destructive) *)
+  let saved_preds =
+    if reuse_static then []
+    else begin
+      let acc = ref [] in
+      G.iter_pred (fun src -> acc := src :: !acc) node;
+      !acc
+    end
+  in
   if not reuse_static then begin
+    poke t "clear-preds";
     if inst.ever_ran then
       emit t (fun () ->
           Telemetry.Preds_cleared { id = G.id node; name = p.name });
@@ -302,6 +537,7 @@ let run_instance t node p inst =
   t.exec_serial <- t.exec_serial + 1;
   let stamp = t.exec_serial in
   t.stack <- { fnode = node; stamp } :: t.stack;
+  t.stack_depth <- t.stack_depth + 1;
   p.on_stack <- true;
   p.queued <- false;
   inst.consistent <- true;
@@ -310,23 +546,42 @@ let run_instance t node p inst =
   let restore () =
     t.mask <- saved_mask;
     p.on_stack <- false;
+    t.stack_depth <- t.stack_depth - 1;
     t.stack <- List.tl t.stack
   in
+  (match t.txn with Some tx -> tx.ran <- node :: tx.ran | None -> ());
   emit t (fun () ->
       Telemetry.Exec_begin
         { id = G.id node; name = p.name; first = not inst.ever_ran });
   let changed =
-    try inst.recompute ()
+    try
+      poke t "exec-begin";
+      inst.recompute ()
     with e ->
       restore ();
+      (* unwind: drop the edges recorded by the failed run and restore
+         those of the last successful one (sources evicted meanwhile are
+         skipped), under a fresh stamp for dedup *)
+      if not reuse_static then
+        masked t (fun () ->
+            G.clear_preds t.graph node;
+            t.exec_serial <- t.exec_serial + 1;
+            let st = t.exec_serial in
+            List.iter
+              (fun src ->
+                if not (G.payload src).discarded then
+                  G.add_edge ~stamp:st ~src ~dst:node)
+              saved_preds);
       (* leave the instance inconsistent so a later call retries *)
       inst.consistent <- false;
+      record_failure t node p inst e;
       emit t (fun () ->
           Telemetry.Exec_end
             { id = G.id node; name = p.name; changed = false; ok = false });
       raise e
   in
   restore ();
+  inst.failures <- 0;
   emit t (fun () ->
       Telemetry.Exec_end { id = G.id node; name = p.name; changed; ok = true });
   t.c_executions <- t.c_executions + 1;
@@ -340,67 +595,238 @@ let run_instance t node p inst =
   end;
   changed
 
-(* Force a dirty instance to currency, notifying dependents on change. *)
+(* Force a dirty instance to currency, notifying dependents on change.
+   A [Poisoned] dependency still notifies dependents (their reads must
+   surface the typed error) before the exception propagates. *)
 let force t node p inst =
-  let changed = run_instance t node p inst in
-  if changed then G.iter_succ (mark_inconsistent ~cause:node t) node
+  match run_instance t node p inst with
+  | changed -> if changed then mark_succs ~cause:node t node
+  | exception (Poisoned _ as e) ->
+    masked t (fun () -> G.iter_succ (mark_inconsistent ~cause:node t) node);
+    raise e
 
 (* Process one element of the inconsistent set, §4.5. *)
 let process_inconsistent t node p =
   match p.kind with
-  | Storage -> G.iter_succ (mark_inconsistent ~cause:node t) node
+  | Storage -> mark_succs ~cause:node t node
   | Instance inst -> (
     match inst.strategy with
     | Demand ->
       if inst.consistent then begin
         inst.consistent <- false;
-        G.iter_succ (mark_inconsistent ~cause:node t) node
+        mark_succs ~cause:node t node
       end
     | Eager -> force t node p inst)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant auditor                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Checks (on demand, or after every settle step under [self_audit])
+   that the engine's metadata is coherent; see the mli for the list.
+   Set-membership checks are skipped while a settle is draining (the
+   drain temporarily holds popped-but-queued skipped nodes outside the
+   heaps by design). [idle] is false for the per-step audits that run
+   from inside settlement, where the settling flag is legitimately set;
+   every public entry point passes true — a user-initiated audit that
+   sees the settling flag with an empty call stack has found a leak. *)
+let audit_errors_run t ~idle =
+  t.c_audits <- t.c_audits + 1;
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  (try G.validate t.graph
+   with Failure m | Invalid_argument m -> err "graph: %s" m);
+  let stack_ids = List.map (fun f -> G.id f.fnode) t.stack in
+  if List.length t.stack <> t.stack_depth then
+    err "stack depth counter %d disagrees with %d frames" t.stack_depth
+      (List.length t.stack);
+  List.iter
+    (fun f ->
+      let p = G.payload f.fnode in
+      if p.discarded then err "discarded node %s#%d on stack" p.name (G.id f.fnode);
+      if not p.on_stack then
+        err "stack frame %s#%d not flagged on_stack" p.name (G.id f.fnode))
+    t.stack;
+  (* partition heap membership, computed once per distinct partition *)
+  let heap_members : (partition * (int, unit) Hashtbl.t) list ref = ref [] in
+  let members part =
+    match List.find_opt (fun (pt, _) -> pt == part) !heap_members with
+    | Some (_, tbl) -> tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace tbl (G.id n) ()) (Heap.to_list part.queue);
+      heap_members := (part, tbl) :: !heap_members;
+      tbl
+  in
+  List.iter
+    (fun node ->
+      let p = G.payload node in
+      if p.discarded then begin
+        if p.queued then err "discarded node %s#%d still queued" p.name (G.id node);
+        if p.on_stack then
+          err "discarded node %s#%d flagged on_stack" p.name (G.id node)
+      end
+      else begin
+        if p.on_stack && not (List.mem (G.id node) stack_ids) then
+          err "%s#%d flagged on_stack without a stack frame" p.name (G.id node);
+        (match p.kind with
+        | Instance inst ->
+          if inst.poison <> None && inst.consistent then
+            err "poisoned instance %s#%d flagged consistent" p.name (G.id node)
+        | Storage -> ());
+        if p.queued && not t.settling then begin
+          let part = partition_of t node in
+          if not (Hashtbl.mem (members part) (G.id node)) then
+            err "queued node %s#%d missing from its inconsistent set" p.name
+              (G.id node);
+          if not part.on_dirty_list then
+            err "queued node %s#%d in a partition not flagged dirty" p.name
+              (G.id node);
+          if not (List.memq part t.dirty_parts) then
+            err "queued node %s#%d in a partition missing from the dirty list"
+              p.name (G.id node)
+        end
+      end)
+    t.all_nodes;
+  if idle then begin
+    if t.stack = [] && (not t.settling) && t.txn = None && not t.mask then
+      err "edge-recording mask left disabled outside any execution";
+    if t.stack = [] && t.settling then
+      err "settling flag left set outside any settle"
+  end;
+  let errors = List.rev !errs in
+  emit t (fun () ->
+      Telemetry.Audit_run { ok = errors = []; errors = List.length errors });
+  errors
+
+let audit_errors t = audit_errors_run t ~idle:true
+
+let audit t =
+  match audit_errors t with [] -> () | errs -> raise (Audit_failure errs)
+
+(* the per-step form used by [self_audit] from inside settlement *)
+let audit_step t =
+  match audit_errors_run t ~idle:false with
+  | [] -> ()
+  | errs -> raise (Audit_failure errs)
+
+(* ------------------------------------------------------------------ *)
+(* Settlement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Give up incrementality rather than spin: forget all pending marks and
+   flag every instance inconsistent, so each next demand recomputes from
+   scratch — the exhaustive semantics, guaranteed to terminate. *)
+let degrade_to_exhaustive t =
+  t.c_degradations <- t.c_degradations + 1;
+  emit t (fun () ->
+      Telemetry.Degraded
+        { steps = (match t.max_settle_steps with Some n -> n | None -> 0) });
+  Log.debug (fun m -> m "watchdog: degrading to exhaustive recomputation");
+  List.iter
+    (fun node ->
+      let p = G.payload node in
+      if not p.discarded then begin
+        p.queued <- false;
+        match p.kind with
+        | Instance inst -> inst.consistent <- false
+        | Storage -> ()
+      end;
+      if t.use_partitions then
+        match p.part_elt with
+        | Some e ->
+          let part = Uf.payload e in
+          Heap.clear part.queue;
+          part.on_dirty_list <- false
+        | None -> ())
+    t.all_nodes;
+  Heap.clear t.global_part.queue;
+  t.global_part.on_dirty_list <- false;
+  List.iter (fun part -> part.on_dirty_list <- false) t.dirty_parts;
+  t.dirty_parts <- [];
+  t.quarantined <- []
+
+(* Process one settle pop, quarantining instance failures: settlement is
+   total — an exception from one instance must not abort propagation of
+   the others. Audit failures and watchdog degradations pass through. *)
+let process_guarded t node p =
+  match process_inconsistent t node p with
+  | () -> ()
+  | exception (Audit_failure _ as e) -> raise e
+  | exception e ->
+    Log.debug (fun m ->
+        m "settle: %s#%d failed (%s); quarantined" p.name (G.id node)
+          (Printexc.to_string e))
 
 let settle_partition t part =
   if not t.settling then begin
     t.settling <- true;
+    t.settle_fuel <- (match t.max_settle_steps with Some n -> n | None -> -1);
     let finally () = t.settling <- false in
     Fun.protect ~finally @@ fun () ->
       (* Nodes currently on the call stack must not be processed here (an
          eager re-execution would be a false cycle); they stay queued and
-         are re-inserted after the drain, so their dirt is handled once
-         their own execution completes. *)
+         are re-inserted after the drain — also when the drain raises. *)
       let skipped = ref [] in
-      let rec loop () =
-        match Heap.pop_min part.queue with
-        | None -> ()
-        | Some node ->
-          let p = G.payload node in
-          if p.queued then
-            if p.on_stack then skipped := node :: !skipped
-            else begin
-              Log.debug (fun m -> m "settle: %s#%d" p.name (G.id node));
-              emit t (fun () ->
-                  Telemetry.Settle_pop { id = G.id node; name = p.name });
-              p.queued <- false;
-              t.c_steps <- t.c_steps + 1;
-              process_inconsistent t node p
-            end;
-          loop ()
+      let reinsert () =
+        List.iter (Heap.insert part.queue) !skipped;
+        skipped := []
       in
-      loop ();
-      match !skipped with
-      | [] -> part.on_dirty_list <- false
-      | l -> List.iter (Heap.insert part.queue) l
+      Fun.protect ~finally:reinsert @@ fun () ->
+        let rec loop () =
+          (* poked before the pop so a fault leaves the heap intact *)
+          poke t "settle-pop";
+          if t.settle_fuel = 0 then degrade_to_exhaustive t
+          else
+            match Heap.pop_min part.queue with
+            | None -> ()
+            | Some node ->
+              let p = G.payload node in
+              if p.queued then
+                if p.on_stack then skipped := node :: !skipped
+                else begin
+                  Log.debug (fun m -> m "settle: %s#%d" p.name (G.id node));
+                  emit t (fun () ->
+                      Telemetry.Settle_pop { id = G.id node; name = p.name });
+                  p.queued <- false;
+                  t.c_steps <- t.c_steps + 1;
+                  if t.settle_fuel > 0 then t.settle_fuel <- t.settle_fuel - 1;
+                  process_guarded t node p;
+                  if t.self_audit then audit_step t
+                end;
+              loop ()
+        in
+        loop ();
+        if !skipped = [] then part.on_dirty_list <- false
   end
 
 let stabilize t =
-  let rec drain () =
-    match t.dirty_parts with
-    | [] -> ()
-    | part :: rest ->
-      t.dirty_parts <- rest;
-      settle_partition t part;
-      drain ()
+  requeue_quarantined t;
+  (* A partition is popped off the dirty list only after its settle
+     completed: if the settle raises, the partition keeps its place and
+     the next stabilize resumes it (the seed dropped it, permanently
+     losing eager propagation after a fault). Partitions that could not
+     fully drain (nodes on the call stack) are deferred, not dropped. *)
+  let deferred = ref [] in
+  let finally () =
+    if !deferred <> [] then t.dirty_parts <- t.dirty_parts @ List.rev !deferred
   in
-  drain ()
+  Fun.protect ~finally @@ fun () ->
+    let rec drain () =
+      match t.dirty_parts with
+      | [] -> ()
+      | part :: rest ->
+        t.dirty_parts <- rest;
+        (try settle_partition t part
+         with e ->
+           (* the partition still holds queued work: keep its place so
+              the next stabilize resumes it *)
+           if part.on_dirty_list then t.dirty_parts <- part :: t.dirty_parts;
+           raise e);
+        if part.on_dirty_list then deferred := part :: !deferred;
+        drain ()
+    in
+    drain ()
 
 (* Preemptable evaluation (§4.5: "the evaluation routine should be called
    whenever cycles are available … and can be preempted when necessary"):
@@ -408,41 +834,58 @@ let stabilize t =
 let settle_bounded t ~max_steps =
   if t.settling || max_steps <= 0 then t.dirty_parts = []
   else begin
+    requeue_quarantined t;
     t.settling <- true;
+    t.settle_fuel <- (match t.max_settle_steps with Some n -> n | None -> -1);
     let budget = ref max_steps in
     let finally () = t.settling <- false in
     Fun.protect ~finally (fun () ->
         let rec drain_parts () =
           match t.dirty_parts with
           | [] -> ()
-          | part :: rest ->
+          | part :: _ ->
             let skipped = ref [] in
             let drained = ref false in
-            let rec loop () =
-              if !budget > 0 then
-                match Heap.pop_min part.queue with
-                | None -> drained := true
-                | Some node ->
-                  let p = G.payload node in
-                  (if p.queued then
-                     if p.on_stack then skipped := node :: !skipped
-                     else begin
-                       emit t (fun () ->
-                           Telemetry.Settle_pop
-                             { id = G.id node; name = p.name });
-                       p.queued <- false;
-                       decr budget;
-                       t.c_steps <- t.c_steps + 1;
-                       process_inconsistent t node p
-                     end);
-                  loop ()
+            let reinsert () =
+              List.iter (Heap.insert part.queue) !skipped;
+              skipped := []
             in
-            loop ();
-            List.iter (Heap.insert part.queue) !skipped;
+            Fun.protect ~finally:reinsert (fun () ->
+                let rec loop () =
+                  if !budget > 0 then begin
+                    poke t "settle-pop";
+                    if t.settle_fuel = 0 then degrade_to_exhaustive t
+                    else
+                      match Heap.pop_min part.queue with
+                      | None -> drained := true
+                      | Some node ->
+                        let p = G.payload node in
+                        (if p.queued then
+                           if p.on_stack then skipped := node :: !skipped
+                           else begin
+                             emit t (fun () ->
+                                 Telemetry.Settle_pop
+                                   { id = G.id node; name = p.name });
+                             p.queued <- false;
+                             decr budget;
+                             t.c_steps <- t.c_steps + 1;
+                             if t.settle_fuel > 0 then
+                               t.settle_fuel <- t.settle_fuel - 1;
+                             process_guarded t node p;
+                             if t.self_audit then audit_step t
+                           end);
+                        loop ()
+                  end
+                in
+                loop ());
             if !drained && !skipped = [] then begin
               (* this partition is quiescent; move on *)
               part.on_dirty_list <- false;
-              t.dirty_parts <- rest;
+              (* the partition may have been re-dirtied (and re-listed)
+                 by the processing above; only drop the head we took *)
+              (match t.dirty_parts with
+              | hd :: tl when hd == part -> t.dirty_parts <- tl
+              | _ -> ());
               if !budget > 0 then drain_parts ()
             end
         in
@@ -464,6 +907,70 @@ let settle_bounded t ~max_steps =
       t.dirty_parts
   end
 
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Roll an aborted batch back: un-mark what the batch marked, restore
+   the typed cells (newest write first), and — if anything executed
+   against the batch's intermediate state — invalidate those instances
+   and their dependents so the next settle recomputes from the restored
+   inputs. Un-marking is lazy w.r.t. the heaps: settlement already skips
+   popped entries whose [queued] flag is off. *)
+let rollback_txn t tx =
+  t.txn <- None;
+  masked t @@ fun () ->
+    List.iter
+      (fun node ->
+        let p = G.payload node in
+        if p.queued then p.queued <- false)
+      tx.tmarked;
+    let undone = List.length tx.undos in
+    List.iter (fun u -> u ()) tx.undos;
+    let remarked = ref 0 in
+    List.iter
+      (fun node ->
+        let p = G.payload node in
+        if not p.discarded then begin
+          (match p.kind with
+          | Instance inst -> inst.consistent <- false
+          | Storage -> ());
+          mark_inconsistent t node;
+          G.iter_succ (mark_inconsistent ~cause:node t) node;
+          incr remarked
+        end)
+      tx.ran;
+    t.c_rollbacks <- t.c_rollbacks + 1;
+    emit t (fun () ->
+        Telemetry.Txn_rollback { undone; remarked = !remarked })
+
+let transact t f =
+  if t.txn <> None then
+    invalid_arg "Engine.transact: already inside a transaction";
+  if t.stack <> [] then
+    invalid_arg "Engine.transact: called during an incremental execution";
+  let tx = { undos = []; tmarked = []; ran = [] } in
+  t.txn <- Some tx;
+  emit t (fun () -> Telemetry.Txn_begin);
+  match
+    let v = f () in
+    (* the batch settle is inside the transaction: if propagation fails,
+       the writes roll back with it *)
+    stabilize t;
+    v
+  with
+  | v ->
+    t.txn <- None;
+    emit t (fun () -> Telemetry.Txn_commit { marks = List.length tx.tmarked });
+    v
+  | exception e ->
+    rollback_txn t tx;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                               *)
+(* ------------------------------------------------------------------ *)
+
 let on_call t node =
   let p = G.payload node in
   match p.kind with
@@ -483,7 +990,10 @@ let on_call t node =
        inconsistencies of this node's partition — Algorithm 5's
        "IF SetSize(Inconsistent) > 0 THEN Evaluate". Inside the evaluator
        itself we only force: re-entering settlement is both unnecessary
-       (the evaluator is already draining this queue) and guarded.
+       (the evaluator is already draining this queue) and guarded. A call
+       inside a transaction settles too — that is what lets reads observe
+       the partial batch; everything that executes is recorded in the
+       transaction's [ran] list and re-invalidated on rollback.
 
        The caller receives the value cached by the instance's own (body)
        execution. Writes performed *during* that execution may leave the
@@ -495,7 +1005,12 @@ let on_call t node =
        program's call returns. *)
     if not t.settling then settle_partition t (partition_of t node);
     if dirty p then begin
-      force t node p inst;
+      (try force t node p inst
+       with e ->
+         (* the caller observed this failure: record the dependency so a
+            later recovery of this instance re-invalidates the caller *)
+         masked t (fun () -> record_dependency t node);
+         raise e);
       executed := true
     end;
     if (not !executed) && inst.ever_ran then begin
@@ -508,6 +1023,15 @@ let on_call t node =
        about to read. *)
     record_dependency t node
 
+let clear_poison t node =
+  match (G.payload node).kind with
+  | Instance inst ->
+    inst.poison <- None;
+    inst.failures <- 0;
+    inst.consistent <- false;
+    masked t (fun () -> mark_inconsistent t node)
+  | Storage -> invalid_arg "Engine.clear_poison: storage node"
+
 let removable _t node =
   let p = G.payload node in
   (match p.kind with Storage -> false | Instance _ -> true)
@@ -517,8 +1041,11 @@ let removable _t node =
 let discard t node =
   let p = G.payload node in
   if not (removable t node) then invalid_arg "Engine.discard: not removable";
+  (* poked before any mutation so a fault cancels the eviction cleanly *)
+  poke t "evict";
   p.discarded <- true;
   t.c_evictions <- t.c_evictions + 1;
+  t.quarantined <- List.filter (fun n -> not (n == node)) t.quarantined;
   emit t (fun () -> Telemetry.Evicted { id = G.id node; name = p.name });
   G.remove_node t.graph node
 
@@ -548,6 +1075,12 @@ let stats t =
     out_of_order_edges = t.c_ooo;
     order_fixups = t.c_fixups;
     evictions = t.c_evictions;
+    failures = t.c_failures;
+    retries = t.c_retries;
+    poisonings = t.c_poisonings;
+    rollbacks = t.c_rollbacks;
+    degradations = t.c_degradations;
+    audits = t.c_audits;
   }
 
 let reset_stats t =
@@ -559,7 +1092,13 @@ let reset_stats t =
   t.c_unions <- 0;
   t.c_ooo <- 0;
   t.c_fixups <- 0;
-  t.c_evictions <- 0
+  t.c_evictions <- 0;
+  t.c_failures <- 0;
+  t.c_retries <- 0;
+  t.c_poisonings <- 0;
+  t.c_rollbacks <- 0;
+  t.c_degradations <- 0;
+  t.c_audits <- 0
 
 let graph_stats t = G.stats t.graph
 

@@ -70,12 +70,34 @@ type scheduling =
 exception Cycle of string
 (** Raised when an incremental procedure instance (transitively) calls
     itself with identical arguments — e.g. a circular spreadsheet formula.
-    The payload names the offending instance. *)
+    The payload names the offending instance. Structural: it never
+    consumes an instance's retry budget (see {!create}'s [max_retries]).
+    The engine remains fully usable after a [Cycle] escape — the call
+    stack is unwound and the failed instance's edges are restored. *)
+
+exception Poisoned of string
+(** Raised by calls to an instance whose execution failed [max_retries]
+    consecutive times: the typed-error form of a permanently failing
+    procedure. Propagates through dependents (their reads re-raise it)
+    until {!clear_poison}. Structural, like {!Cycle}: observing a
+    poisoned dependency does not consume the observer's retry budget. *)
+
+exception Audit_failure of string list
+(** Raised by {!audit} when an engine invariant does not hold; the
+    payload lists every violated invariant. *)
+
+exception Watchdog of string
+(** Raised when the call-stack depth watchdog trips (see {!create}'s
+    [max_stack_depth]) — runaway recursion through incremental calls. *)
 
 val create :
   ?partitioning:bool ->
   ?default_strategy:strategy ->
   ?scheduling:scheduling ->
+  ?max_retries:int ->
+  ?max_settle_steps:int ->
+  ?max_stack_depth:int ->
+  ?self_audit:bool ->
   unit ->
   t
 (** [create ()] makes a fresh engine. [partitioning] (default [false])
@@ -83,11 +105,22 @@ val create :
     propagates only the inconsistencies of the called node's partition.
     [default_strategy] (default [Demand]) applies to instances created
     without an explicit strategy. [scheduling] (default
-    [Creation_order]) picks the inconsistent-set drain order. *)
+    [Creation_order]) picks the inconsistent-set drain order.
+
+    Fault tolerance: [max_retries] (default 3, must be ≥ 1) is how many
+    consecutive times an instance's execution may fail before it is
+    poisoned ({!Poisoned}). [max_settle_steps] (unset by default) is a
+    watchdog on a single settle session: propagation exceeding it
+    degrades to exhaustive recomputation ({!degrade_to_exhaustive})
+    instead of spinning. [max_stack_depth] (unset by default) bounds the
+    incremental call stack; exceeding it raises {!Watchdog}.
+    [self_audit] (default [false]) runs {!audit} after every settle
+    step. *)
 
 val default_strategy : t -> strategy
 val partitioning : t -> bool
 val scheduling : t -> scheduling
+val max_retries : t -> int
 
 (** {1 Storage side (used by [Var])} *)
 
@@ -137,7 +170,15 @@ val on_call : t -> node -> unit
     node's partition when appropriate, forces the node if it is
     inconsistent, and records the dependency of the calling instance (if
     any). On return the typed cache behind [recompute] is current.
-    @raise Cycle on re-entrant calls to an instance already executing. *)
+
+    Failure semantics: if the forced execution raises, the engine first
+    restores itself (stack unwound, the instance's previous edge set put
+    back, the instance re-marked inconsistent, the caller's dependency on
+    it recorded) and then re-raises — the caller may turn the exception
+    into an error value and keep using the engine; the next call retries
+    the instance.
+    @raise Cycle on re-entrant calls to an instance already executing.
+    @raise Poisoned if the instance exhausted its retry budget. *)
 
 val removable : t -> node -> bool
 (** Whether an instance node may be discarded by cache replacement: it has
@@ -156,7 +197,12 @@ val stabilize : t -> unit
     inconsistent sets as in §4.5. For [Eager] instances this re-executes
     affected procedures now; for [Demand] instances it spreads dirty flags.
     This is the "evaluation routine [to] be called whenever cycles are
-    available". *)
+    available".
+
+    Settlement is total with respect to instance failures: an execution
+    that raises is quarantined (retried by the next stabilize, up to
+    [max_retries], then poisoned) and propagation of the remaining work
+    continues. Quarantined instances are re-marked at entry. *)
 
 val settle_bounded : t -> max_steps:int -> bool
 (** Preemptable evaluation (§4.5): processes at most [max_steps] elements
@@ -164,6 +210,89 @@ val settle_bounded : t -> max_steps:int -> bool
     engine is now quiescent. Intended for spending idle cycles in slices
     ("the evaluation routine should be called whenever cycles are
     available … and can be preempted when necessary"). *)
+
+(** {1 Fault tolerance} *)
+
+val transact : t -> (unit -> 'a) -> 'a
+(** [transact t f] runs the mutation batch [f] atomically with respect to
+    propagation: tracked writes made by [f] are logged, and the closing
+    settle runs when [f] returns — the batch then commits. If [f] {e or the batch's settle} raises, the
+    batch rolls back: newly-marked nodes are un-marked, the typed cells
+    are restored (newest write first), and any instance that executed
+    against the batch's intermediate state is re-invalidated together
+    with its dependents, so the next settle recomputes from the restored
+    inputs. The exception is re-raised after rollback.
+
+    Reads made inside [f] observe the partial batch (demand semantics);
+    their cached results are invalidated again on rollback.
+    @raise Invalid_argument on nested transactions or when called from
+    inside an incremental execution. *)
+
+val in_transaction : t -> bool
+
+val txn_log : t -> (unit -> unit) -> unit
+(** Registers an undo action with the open transaction (no-op outside
+    one). Typed-cell owners ({!Var}) call this before overwriting their
+    contents so {!transact} can roll them back. *)
+
+val quarantined : t -> node list
+(** Instances whose last execution failed and that await a bounded retry
+    at the next {!stabilize}/{!settle_bounded} (demand instances also
+    retry on their next call). *)
+
+val poisoned : t -> node -> bool
+val poison_error : t -> node -> exn option
+(** The exception that poisoned the instance, or [None]. *)
+
+val failure_count : t -> node -> int
+(** Consecutive failed executions of the instance (0 after a success). *)
+
+val clear_poison : t -> node -> unit
+(** Resets the instance's failure count and poison and re-marks it
+    inconsistent, so the next call or settle retries it. *)
+
+val degrade_to_exhaustive : t -> unit
+(** Abandons incrementality for the pending work: clears every
+    inconsistent set and flags every instance inconsistent, so each next
+    demand recomputes from scratch (the exhaustive semantics, guaranteed
+    to terminate). Called automatically when the [max_settle_steps]
+    watchdog trips. *)
+
+(** {1 Invariant auditor (engine half of {!Alphonse.Audit})} *)
+
+val audit : t -> unit
+(** Checks the coherence of the engine's metadata: graph link symmetry,
+    call stack ↔ [on_stack] flags, every queued node present in its
+    partition's inconsistent set and that partition reachable from the
+    dirty list, discarded nodes fully detached, poisoned instances not
+    flagged consistent, and the recording/settling flags coherent when
+    idle. Cheap enough for per-step use in tests ([self_audit]).
+    @raise Audit_failure listing every violated invariant. *)
+
+val audit_errors : t -> string list
+(** Non-raising {!audit}: the violated invariants, [[]] when coherent. *)
+
+val set_self_audit : t -> bool -> unit
+(** Toggles auditing after every settle step (see [create]'s
+    [self_audit]). *)
+
+val self_audit : t -> bool
+
+(** {1 Fault injection (engine half of {!Faults})} *)
+
+val fault_sites : string list
+(** The engine decision points at which an installed fault hook is poked:
+    ["exec-begin"], ["mark"], ["edge"], ["settle-pop"], ["clear-preds"],
+    ["evict"]. Sites sit before their state mutation, so a hook that
+    raises models a fault the engine must recover from. *)
+
+val set_fault_hook : t -> (string -> unit) option -> unit
+(** Installs (or clears) the fault hook, called with the site label at
+    every decision point. A hook that raises injects a fault there; the
+    engine's repair paths run with the hook suppressed. Test-only
+    machinery — see {!Faults} for deterministic injectors. *)
+
+val fault_hook : t -> (string -> unit) option
 
 val unchecked : t -> (unit -> 'a) -> 'a
 (** [unchecked t f] runs [f] with dependency recording suppressed for the
@@ -207,6 +336,12 @@ type stats = {
   order_fixups : int;
       (** Pearce–Kelly reorderings performed (Topological scheduling) *)
   evictions : int;
+  failures : int;  (** executions that raised (excluding Cycle/Poisoned) *)
+  retries : int;  (** quarantined instances re-marked for retry *)
+  poisonings : int;  (** instances that exhausted their retry budget *)
+  rollbacks : int;  (** transactions rolled back *)
+  degradations : int;  (** watchdog degradations to exhaustive mode *)
+  audits : int;  (** auditor runs (on demand or per-step) *)
 }
 
 val stats : t -> stats

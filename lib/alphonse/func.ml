@@ -68,10 +68,13 @@ let push_front t e =
   match t.oldest with None -> t.oldest <- Some e | Some _ -> ()
 
 let evict t e =
+  (* discard first: it can raise (an injected fault cancels the
+     eviction), and then the table, recency list and node must all still
+     agree that the entry is live *)
+  Engine.discard t.eng e.enode;
   Htbl.remove t.table e.key;
   unlink t e;
-  e.live <- false;
-  Engine.discard t.eng e.enode
+  e.live <- false
 
 (* Enforce the capacity bound, evicting only sound candidates (no live
    dependents, not pending, not executing) and never the entry just

@@ -16,7 +16,16 @@ let pp_stats ppf (s : Engine.stats) =
     s.executions s.first_executions
     (s.executions - s.first_executions)
     s.cache_hits s.settle_steps s.queue_pushes s.unions s.out_of_order_edges
-    s.order_fixups s.evictions
+    s.order_fixups s.evictions;
+  (* the recovery counters only appear once something went wrong *)
+  if s.failures + s.retries + s.poisonings + s.rollbacks + s.degradations > 0
+  then
+    Fmt.pf ppf
+      "@,@[<v>failures:       %d (retries: %d, poisoned: %d)@,\
+       rollbacks:      %d@,\
+       degradations:   %d@]"
+      s.failures s.retries s.poisonings s.rollbacks s.degradations;
+  if s.audits > 0 then Fmt.pf ppf "@,audits:         %d" s.audits
 
 let pp_graph_stats ppf (g : Depgraph.Graph.stats) =
   Fmt.pf ppf

@@ -34,6 +34,18 @@ type event =
       (* RemovePredEdges before a (dynamic-R(p)) re-execution *)
   | Union of { a : int; b : int }
   | Evicted of { id : int; name : string }
+  (* fault tolerance *)
+  | Quarantined of { id : int; name : string; attempt : int; error : string }
+      (* the execution raised; the instance awaits a bounded retry *)
+  | Instance_poisoned of { id : int; name : string; error : string }
+  | Retried of { id : int; name : string; attempt : int }
+  | Txn_begin
+  | Txn_commit of { marks : int }
+  | Txn_rollback of { undone : int; remarked : int }
+  | Degraded of { steps : int }
+      (* settle-step watchdog tripped: degraded to exhaustive mode *)
+  | Audit_run of { ok : bool; errors : int }
+  | Fault_injected of { site : string }
 
 type record = { seq : int; at : float; ev : event }
 (* [at] is seconds since the recorder was created ([Unix.gettimeofday]
@@ -113,6 +125,22 @@ let pp_event ppf = function
   | Preds_cleared { id; name } -> Fmt.pf ppf "preds-cleared %s#%d" name id
   | Union { a; b } -> Fmt.pf ppf "union #%d #%d" a b
   | Evicted { id; name } -> Fmt.pf ppf "evicted %s#%d" name id
+  | Quarantined { id; name; attempt; error } ->
+    Fmt.pf ppf "quarantined %s#%d (attempt %d: %s)" name id attempt error
+  | Instance_poisoned { id; name; error } ->
+    Fmt.pf ppf "poisoned %s#%d (%s)" name id error
+  | Retried { id; name; attempt } ->
+    Fmt.pf ppf "retried %s#%d (after %d failure(s))" name id attempt
+  | Txn_begin -> Fmt.string ppf "txn-begin"
+  | Txn_commit { marks } -> Fmt.pf ppf "txn-commit (%d marks)" marks
+  | Txn_rollback { undone; remarked } ->
+    Fmt.pf ppf "txn-rollback (%d undone, %d remarked)" undone remarked
+  | Degraded { steps } ->
+    Fmt.pf ppf "degraded to exhaustive (watchdog after %d steps)" steps
+  | Audit_run { ok; errors } ->
+    if ok then Fmt.string ppf "audit ok"
+    else Fmt.pf ppf "audit FAILED (%d error(s))" errors
+  | Fault_injected { site } -> Fmt.pf ppf "fault injected at %s" site
 
 let pp_record ppf r = Fmt.pf ppf "[%06d %.6fs] %a" r.seq r.at pp_event r.ev
 
@@ -192,6 +220,35 @@ let trace_records records =
           ("a", Json.Num (float_of_int a)); ("b", Json.Num (float_of_int b));
         ]
     | Evicted { id; name } -> instant ("evict " ^ name) "cache" (node_args id)
+    | Quarantined { id; name; attempt; error } ->
+      instant ("quarantine " ^ name) "fault"
+        (node_args id
+        @ [
+            ("attempt", Json.Num (float_of_int attempt));
+            ("error", Json.Str error);
+          ])
+    | Instance_poisoned { id; name; error } ->
+      instant ("poison " ^ name) "fault"
+        (node_args id @ [ ("error", Json.Str error) ])
+    | Retried { id; name; attempt } ->
+      instant ("retry " ^ name) "fault"
+        (node_args id @ [ ("attempt", Json.Num (float_of_int attempt)) ])
+    | Txn_begin -> instant "txn-begin" "txn" []
+    | Txn_commit { marks } ->
+      instant "txn-commit" "txn" [ ("marks", Json.Num (float_of_int marks)) ]
+    | Txn_rollback { undone; remarked } ->
+      instant "txn-rollback" "txn"
+        [
+          ("undone", Json.Num (float_of_int undone));
+          ("remarked", Json.Num (float_of_int remarked));
+        ]
+    | Degraded { steps } ->
+      instant "degraded" "fault" [ ("steps", Json.Num (float_of_int steps)) ]
+    | Audit_run { ok; errors } ->
+      instant "audit" "audit"
+        [ ("ok", Json.Bool ok); ("errors", Json.Num (float_of_int errors)) ]
+    | Fault_injected { site } ->
+      instant "fault" "fault" [ ("site", Json.Str site) ]
   in
   (* A truncated ring can start mid-execution: drop unmatched E events
      (and close unmatched Bs) so the trace stays well nested. *)

@@ -38,6 +38,25 @@ type event =
       (** RemovePredEdges before a dynamic-R(p) re-execution *)
   | Union of { a : int; b : int }  (** §6.3 partition union *)
   | Evicted of { id : int; name : string }
+  | Quarantined of { id : int; name : string; attempt : int; error : string }
+      (** the instance's execution raised ([attempt] consecutive
+          failures so far); it awaits a bounded retry *)
+  | Instance_poisoned of { id : int; name : string; error : string }
+      (** the retry budget is exhausted; reads now raise
+          [Engine.Poisoned] *)
+  | Retried of { id : int; name : string; attempt : int }
+      (** a quarantined instance was re-marked for retry at settle *)
+  | Txn_begin
+  | Txn_commit of { marks : int }
+  | Txn_rollback of { undone : int; remarked : int }
+      (** [undone] cell restorations applied, [remarked] mid-batch
+          executions re-invalidated *)
+  | Degraded of { steps : int }
+      (** the settle-step watchdog tripped after [steps] steps:
+          propagation degraded to exhaustive recomputation *)
+  | Audit_run of { ok : bool; errors : int }
+  | Fault_injected of { site : string }
+      (** the installed fault hook raised at this engine site *)
 
 type record = { seq : int; at : float; ev : event }
 (** [seq] numbers all events ever emitted; [at] is seconds since the

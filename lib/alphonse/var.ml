@@ -36,6 +36,10 @@ let set t v =
   let node =
     if Engine.recording t.eng then Some (ensure_node t) else t.vnode
   in
+  (* an open transaction must be able to restore the cell on rollback *)
+  (if Engine.in_transaction t.eng then
+     let old = t.contents in
+     Engine.txn_log t.eng (fun () -> t.contents <- old));
   match node with
   | None -> t.contents <- v (* untracked: no Alphonse overhead, §6.1 *)
   | Some n ->

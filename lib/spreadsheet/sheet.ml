@@ -30,6 +30,10 @@ type cell_error =
   | Parse of string
   | Div_by_zero
   | Bad_arg  (** e.g. SQRT of a negative number, AVG of an empty range *)
+  | Fault of string
+      (** an engine-level failure (a poisoned cell instance) surfaced as
+          a value — the cell shows [#ERR!] instead of corrupting the
+          engine or the calling UI *)
 
 type value =
   | Empty
@@ -41,6 +45,7 @@ let pp_error ppf = function
   | Parse e -> Fmt.pf ppf "#PARSE:%s!" e
   | Div_by_zero -> Fmt.string ppf "#DIV/0!"
   | Bad_arg -> Fmt.string ppf "#ARG!"
+  | Fault _ -> Fmt.string ppf "#ERR!"
 
 let pp_value ppf = function
   | Empty -> ()
@@ -176,6 +181,7 @@ let create ?strategy ?partitioning () =
     match Func.call (the_fn t) coord with
     | v -> v
     | exception Engine.Cycle _ -> Error Cycle
+    | exception Engine.Poisoned _ -> Error (Fault "poisoned")
   in
   t.value_fn <-
     Some
@@ -230,6 +236,14 @@ let value t coord =
   match Func.call (the_fn t) coord with
   | v -> v
   | exception Engine.Cycle _ -> Error Cycle
+  | exception Engine.Poisoned _ -> Error (Fault "poisoned")
+
+(* A poisoned cell instance keeps reporting [#ERR!] until the UI asks
+   for a fresh attempt; this is that ask (e.g. bound to F9). *)
+let clear_fault t coord =
+  match Func.node (the_fn t) coord with
+  | Some n when Engine.poisoned t.eng n -> Engine.clear_poison t.eng n
+  | _ -> ()
 
 let value_at t name =
   match F.parse name with

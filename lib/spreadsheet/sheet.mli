@@ -14,6 +14,10 @@ type cell_error =
   | Parse of string
   | Div_by_zero
   | Bad_arg  (** e.g. SQRT of a negative, AVG over an empty range *)
+  | Fault of string
+      (** an engine-level failure (e.g. a poisoned cell instance),
+          rendered [#ERR!]; like every other error it propagates through
+          dependent formulas as a value *)
 
 type value =
   | Empty
@@ -55,6 +59,11 @@ val clear : t -> int * int -> unit
 val value : t -> int * int -> value
 (** The cell's maintained value; recomputes only what pending edits
     invalidated. *)
+
+val clear_fault : t -> int * int -> unit
+(** Forget the cell's poisoned state (if any) so the next read retries
+    its formula — the recovery action behind an [#ERR!] cell. No-op on
+    healthy cells. *)
 
 val value_at : t -> string -> value
 (** {!value} by cell name. *)

@@ -301,7 +301,22 @@ and dispatch st pos pd pragma argv : value option =
     match Func.call func argv with
     | v -> v
     | exception Engine.Cycle name ->
-      error pos "incremental procedure %s depends on itself" name)
+      error pos "incremental procedure %s depends on itself" name
+    | exception Engine.Poisoned name ->
+      error pos "incremental procedure %s is poisoned after repeated failures"
+        name
+    | exception Alphonse.Faults.Injected _ -> (
+      (* the engine unwound and quarantined the faulted instance; one
+         retry normally succeeds since injectors are one-shot or rare *)
+      match Func.call func argv with
+      | v -> v
+      | exception Engine.Cycle name ->
+        error pos "incremental procedure %s depends on itself" name
+      | exception Engine.Poisoned name ->
+        error pos "incremental procedure %s is poisoned after repeated failures"
+          name
+      | exception Alphonse.Faults.Injected site ->
+        error pos "injected fault at %s persisted across retry" site))
 
 and call_proc st (pd : proc_decl) argv : value option =
   let fr : frame = Hashtbl.create 8 in
@@ -414,10 +429,15 @@ type outcome = {
   graph_stats : Depgraph.Graph.stats;
 }
 
-let init_state ?fuel ?default_strategy ?partitioning ?telemetry (env : Tc.env)
-    (analysis : Analysis.result) =
-  let eng = Engine.create ?default_strategy ?partitioning () in
+let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
+    ?audit (env : Tc.env) (analysis : Analysis.result) =
+  let eng =
+    Engine.create ?default_strategy ?partitioning ?self_audit:audit ()
+  in
   Engine.set_telemetry eng telemetry;
+  (match fault_seed with
+  | Some seed -> ignore (Alphonse.Faults.install_seeded eng ~seed ())
+  | None -> ());
   let st =
     {
       env;
@@ -448,11 +468,12 @@ let init_state ?fuel ?default_strategy ?partitioning ?telemetry (env : Tc.env)
   st
 
 (** Run the module body under Alphonse execution. *)
-let run ?fuel ?default_strategy ?partitioning ?telemetry (env : Tc.env) :
-    outcome =
+let run ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed ?audit
+    (env : Tc.env) : outcome =
   let analysis = Analysis.analyze env in
   match
-    init_state ?fuel ?default_strategy ?partitioning ?telemetry env analysis
+    init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
+      ?audit env analysis
   with
   | exception Runtime_error (msg, p) ->
     {
@@ -477,4 +498,8 @@ let run ?fuel ?default_strategy ?partitioning ?telemetry (env : Tc.env) :
     | () -> finish None
     | exception Runtime_error (msg, p) ->
       finish (Some (Fmt.str "%a: %s" pp_pos p msg))
-    | exception Return_value _ -> finish (Some "RETURN outside a procedure"))
+    | exception Return_value _ -> finish (Some "RETURN outside a procedure")
+    | exception Engine.Audit_failure errs ->
+      finish (Some (Fmt.str "audit failure: %s" (String.concat "; " errs)))
+    | exception Alphonse.Faults.Injected site ->
+      finish (Some (Fmt.str "injected fault at %s escaped recovery" site)))

@@ -34,13 +34,22 @@ val run :
   ?default_strategy:Alphonse.Engine.strategy ->
   ?partitioning:bool ->
   ?telemetry:Alphonse.Telemetry.t ->
+  ?fault_seed:int ->
+  ?audit:bool ->
   Lang.Typecheck.env ->
   outcome
 (** Run the module body under Alphonse execution (the analysis is run
     first). Theorem 5.1: [output] equals the conventional
     [Lang.Interp.run] output. [telemetry] attaches a structured recorder
     to the engine for the whole run (Chrome-trace export, profiles,
-    provenance — see {!Alphonse.Telemetry}). *)
+    provenance — see {!Alphonse.Telemetry}).
+
+    [fault_seed] installs a seeded fault injector
+    ({!Alphonse.Faults.install_seeded}) for the whole run: engine
+    decision points occasionally raise, exercising the recovery paths;
+    incremental calls are retried once after an injected fault. [audit]
+    enables the per-step invariant auditor ({!Alphonse.Audit}); a
+    violation is reported through [error]. *)
 
 (** {1 Internal entry points (the CLI's [graph] command, benches)} *)
 
@@ -49,6 +58,8 @@ val init_state :
   ?default_strategy:Alphonse.Engine.strategy ->
   ?partitioning:bool ->
   ?telemetry:Alphonse.Telemetry.t ->
+  ?fault_seed:int ->
+  ?audit:bool ->
   Lang.Typecheck.env ->
   Analysis.result ->
   state

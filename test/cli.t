@@ -32,6 +32,18 @@ speedup reported:
   14
   14
 
+Injected crashes (--fault-seed) are absorbed — quarantine and retry leave
+the output unchanged — and --audit keeps the invariant auditor on after
+every settle step:
+
+  $ alphonsec run sums_maintained --fault-seed 10 --audit 2>/dev/null
+  6
+  14
+  14
+
+  $ alphonsec run sums_maintained --fault-seed 10 --audit 2>&1 >/dev/null | grep failures
+  failures:       1 (retries: 0, poisoned: 0)
+
   $ alphonsec compare fib_cached | head -3
   Theorem 5.1 (same output): HOLDS
   conventional steps: 573120

@@ -200,6 +200,41 @@ let test_mutual_cycle_detection () =
     | _ -> false
     | exception Engine.Cycle _ -> true)
 
+(* Regression: a Cycle used to leave the failed activations' frames on
+   the engine call stack, so the next unrelated call saw a phantom
+   in-progress execution. The engine must stay fully usable after a
+   detected cycle. *)
+let test_engine_usable_after_cycle () =
+  let eng = Engine.create () in
+  let broken = ref true in
+  let f = ref (fun _ -> 0) in
+  let a = Var.create eng ~name:"a" 5 in
+  let g =
+    Func.create eng ~name:"g" (fun _ n ->
+        if !broken then !f n else Var.get a + n)
+  in
+  (f := fun n -> Func.call g n);
+  checkb "cycle detected" true
+    (match Func.call g 1 with _ -> false | exception Engine.Cycle _ -> true);
+  (* the stack unwound completely and every invariant still holds *)
+  Alcotest.(check (list string)) "audit clean" [] (Engine.audit_errors eng);
+  (* structural failure: no retry budget consumed, nothing poisoned *)
+  let gnode =
+    match Func.node g 1 with Some n -> n | None -> Alcotest.fail "no node"
+  in
+  checki "no failure charged" 0 (Engine.failure_count eng gnode);
+  checkb "not poisoned" false (Engine.poisoned eng gnode);
+  (* unrelated work on the same engine proceeds normally *)
+  let h = Func.create eng ~name:"h" (fun _ () -> Var.get a * 2) in
+  checki "fresh instance runs" 10 (Func.call h ());
+  Var.set a 6;
+  checki "invalidation still flows" 12 (Func.call h ());
+  (* and once the user fixes the cycle, the same instance recovers *)
+  broken := false;
+  checki "fixed instance converges" 7 (Func.call g 1);
+  Alcotest.(check (list string))
+    "audit clean after recovery" [] (Engine.audit_errors eng)
+
 let test_exception_retry () =
   let eng = Engine.create () in
   let boom = ref true in
@@ -1029,6 +1064,61 @@ let test_chrome_trace_roundtrip () =
          && Json.member "ph" ev = Some (Json.Str "B"))
        events)
 
+(* A raising instance must still close its duration slice: every
+   Exec_begin gets a matching Exec_end (ok = false), so Chrome traces
+   stay balanced and nested spans don't swallow their parents. *)
+let test_chrome_trace_balanced_on_raise () =
+  let eng = Engine.create () in
+  let tm = Telemetry.create () in
+  Engine.set_telemetry eng (Some tm);
+  let boom = ref true in
+  let a = Var.create eng ~name:"a" 1 in
+  let inner =
+    Func.create eng ~name:"inner" (fun _ () ->
+        let v = Var.get a in
+        if !boom then failwith "boom";
+        v)
+  in
+  let outer =
+    Func.create eng ~name:"outer" (fun _ () -> Func.call inner () + 1)
+  in
+  checkb "outer raises" true
+    (match Func.call outer () with _ -> false | exception Failure _ -> true);
+  boom := false;
+  checki "retry converges" 2 (Func.call outer ());
+  (* raw event stream: begin/end counts agree, and a failed end exists *)
+  let begins = ref 0 and ends = ref 0 and failed_ends = ref 0 in
+  List.iter
+    (fun (r : Telemetry.record) ->
+      match r.Telemetry.ev with
+      | Telemetry.Exec_begin _ -> incr begins
+      | Telemetry.Exec_end { ok; _ } ->
+        incr ends;
+        if not ok then incr failed_ends
+      | _ -> ())
+    (Telemetry.events tm);
+  checki "begin = end" !begins !ends;
+  (* both outer and inner were unwound with ok=false *)
+  checki "failed ends" 2 !failed_ends;
+  (* and the exported Chrome trace nests correctly *)
+  let json = Json.of_string (Telemetry.to_chrome_trace tm) in
+  let events =
+    match Json.(member "traceEvents" json) with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let balance = ref 0 in
+  List.iter
+    (fun ev ->
+      match Json.member "ph" ev with
+      | Some (Json.Str "B") -> incr balance
+      | Some (Json.Str "E") ->
+        decr balance;
+        checkb "never negative" true (!balance >= 0)
+      | _ -> ())
+    events;
+  checki "B/E balanced after raise" 0 !balance
+
 let test_why_recomputed_names_cell () =
   let eng = Engine.create () in
   let tm = Telemetry.create () in
@@ -1145,6 +1235,8 @@ let () =
         [
           Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
           Alcotest.test_case "mutual cycle" `Quick test_mutual_cycle_detection;
+          Alcotest.test_case "engine usable after cycle" `Quick
+            test_engine_usable_after_cycle;
           Alcotest.test_case "exception retry" `Quick test_exception_retry;
         ] );
       ( "unchecked",
@@ -1231,6 +1323,8 @@ let () =
             test_telemetry_disabled_no_drift;
           Alcotest.test_case "chrome trace round-trips" `Quick
             test_chrome_trace_roundtrip;
+          Alcotest.test_case "trace balanced when an instance raises" `Quick
+            test_chrome_trace_balanced_on_raise;
           Alcotest.test_case "why_recomputed names the cell" `Quick
             test_why_recomputed_names_cell;
           Alcotest.test_case "per-instance profile" `Quick

@@ -141,6 +141,12 @@ let prop_module_roundtrip =
 (* Random mutator schedules: Theorem 5.1 by construction               *)
 (* ------------------------------------------------------------------ *)
 
+(* CI audit mode: with ALPHONSE_AUDIT=1 in the environment every
+   incremental execution below runs with the per-step invariant auditor
+   enabled — a metadata incoherence surfaces as a run error and fails the
+   property. *)
+let audit_mode = Sys.getenv_opt "ALPHONSE_AUDIT" = Some "1"
+
 type op = Set of int * int | Query | Show of int
 
 let op_gen =
@@ -261,7 +267,7 @@ let prop_schedule_theorem_5_1 =
             (fun (strategy, partitioning) ->
               let inc =
                 Incr.run ~fuel:10_000_000 ~default_strategy:strategy
-                  ~partitioning env
+                  ~partitioning ~audit:audit_mode env
               in
               inc.Incr.error = None && inc.Incr.output = conv.Interp.output)
             [

@@ -186,6 +186,35 @@ let test_sheet_errors () =
   S.set s "B1" "=SUM(A1:A3)";
   check_value "agg surfaces error" (S.Error S.Div_by_zero) (S.value_at s "B1")
 
+(* Errors are plain values: they flow through multi-level dependents,
+   and fixing the origin cell heals the whole cone incrementally. *)
+let test_sheet_error_recovery () =
+  let s = S.create () in
+  S.set s "A1" "=1/0";
+  S.set s "B1" "=A1*2";
+  S.set s "C1" "=B1+A1";
+  check_value "origin" (S.Error S.Div_by_zero) (S.value_at s "A1");
+  check_value "level 1" (S.Error S.Div_by_zero) (S.value_at s "B1");
+  check_value "level 2" (S.Error S.Div_by_zero) (S.value_at s "C1");
+  S.set s "A1" "4";
+  check_value "origin healed" (S.Num 4.) (S.value_at s "A1");
+  check_value "cone healed" (S.Num 12.) (S.value_at s "C1");
+  (* a reference that fails to parse becomes an error value too *)
+  S.set s "A1" "=B$Z";
+  (match S.value_at s "C1" with
+  | S.Error (S.Parse _) -> ()
+  | v -> Alcotest.failf "expected parse error downstream, got %a" S.pp_value v);
+  S.set s "A1" "1";
+  check_value "healed again" (S.Num 3.) (S.value_at s "C1");
+  (* incremental and exhaustive agree throughout error states *)
+  S.set s "A1" "=1/0";
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "inc = exhaustive" true
+        (S.value s c = S.exhaustive_value s c))
+    (S.coords s)
+
 let test_sheet_if () =
   let s = S.create () in
   S.set s "A1" "5";
@@ -419,6 +448,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_sheet_basics;
           Alcotest.test_case "aggregates" `Quick test_sheet_aggregates;
           Alcotest.test_case "errors" `Quick test_sheet_errors;
+          Alcotest.test_case "error recovery" `Quick test_sheet_error_recovery;
           Alcotest.test_case "if" `Quick test_sheet_if;
           Alcotest.test_case "cycles" `Quick test_sheet_cycles;
           Alcotest.test_case "parallel profile with cycle" `Quick

@@ -13,14 +13,39 @@ let get what = function
   | None -> fail "%s: missing or mistyped %s" file what
 
 let () =
-  if not (Sys.file_exists file) then fail "%s: no such file" file;
-  let ic = open_in_bin file in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
+  if not (Sys.file_exists file) then
+    fail
+      "%s: no such file (did the bench run produce output? run bench/main.exe \
+       first, or pass the path to its results file)"
+      file;
+  let s =
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> s
+    | exception Sys_error msg -> fail "%s: cannot read: %s" file msg
+    | exception End_of_file ->
+      fail
+        "%s: truncated while reading (the file shrank mid-read — was the \
+         bench still writing it?)"
+        file
+  in
+  if String.trim s = "" then
+    fail
+      "%s: empty file (the bench was interrupted before writing results; \
+       re-run bench/main.exe)"
+      file;
   let j =
     match Alphonse.Json.of_string_opt s with
     | Some j -> j
-    | None -> fail "%s: not valid JSON" file
+    | None ->
+      fail
+        "%s: not valid JSON (%d byte(s); a partial write usually means the \
+         bench was interrupted — re-run it)"
+        file (String.length s)
   in
   let open Alphonse.Json in
   let schema = get "schema" (Option.bind (member "schema" j) to_str) in
