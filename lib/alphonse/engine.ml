@@ -418,12 +418,15 @@ let dirty p =
 (* ------------------------------------------------------------------ *)
 
 (* Failure accounting for an instance whose execution raised. Structural
-   exceptions — [Cycle], a dependency's [Poisoned], [Audit_failure] —
-   are reported to the caller but never consume the retry budget: they
-   are deterministic properties of the graph, not transient faults. *)
+   exceptions — [Cycle], a dependency's [Poisoned], [Audit_failure], a
+   [Watchdog] depth violation — are reported to the caller but never
+   consume the retry budget: they are deterministic properties of the
+   graph (or its configured limits), not transient faults. In particular
+   a nested frame's [Watchdog] unwinding through its callers must not
+   charge them — retrying can never shrink the recursion. *)
 let record_failure t node p (inst : instance) e =
   match e with
-  | Cycle _ | Poisoned _ | Audit_failure _ -> ()
+  | Cycle _ | Poisoned _ | Audit_failure _ | Watchdog _ -> ()
   | _ ->
     t.c_failures <- t.c_failures + 1;
     inst.failures <- inst.failures + 1;
@@ -506,13 +509,6 @@ let run_instance t node p inst =
   (match inst.poison with
   | Some _ -> raise (Poisoned p.name)
   | None -> ());
-  (match t.max_stack_depth with
-  | Some lim when t.stack_depth >= lim ->
-    raise
-      (Watchdog
-         (Fmt.str "call-stack depth limit %d reached at %s#%d" lim p.name
-            (G.id node)))
-  | _ -> ());
   (* §6.2 static subgraphs: a re-execution of a static-R(p) instance keeps
      the dependency edges of its first execution and records none — its
      frame runs with edge recording masked (nested frames restore it). *)
@@ -527,13 +523,48 @@ let run_instance t node p inst =
       !acc
     end
   in
-  if not reuse_static then begin
-    poke t "clear-preds";
-    if inst.ever_ran then
-      emit t (fun () ->
-          Telemetry.Preds_cleared { id = G.id node; name = p.name });
-    G.clear_preds t.graph node
-  end;
+  (* drop whatever edge set the node currently has and reinstate the one
+     of the last successful execution (sources evicted meanwhile are
+     skipped), under a fresh stamp for dedup *)
+  let restore_preds () =
+    if not reuse_static then
+      masked t (fun () ->
+          G.clear_preds t.graph node;
+          t.exec_serial <- t.exec_serial + 1;
+          let st = t.exec_serial in
+          List.iter
+            (fun src ->
+              if not (G.payload src).discarded then
+                G.add_edge ~stamp:st ~src ~dst:node)
+            saved_preds)
+  in
+  (* Pre-body faults — the depth watchdog, an injected "clear-preds"
+     fault — must take the same failure path as a raise from the body: a
+     settle loop has already popped this node and cleared [queued], so a
+     raise that bypassed the handler would leave a previously-consistent
+     eager instance unqueued with [consistent] still set, silently losing
+     its pending invalidation. No [Exec_begin] has been emitted yet, so
+     the handler emits no [Exec_end] — traces stay balanced. *)
+  (try
+     (match t.max_stack_depth with
+     | Some lim when t.stack_depth >= lim ->
+       raise
+         (Watchdog
+            (Fmt.str "call-stack depth limit %d reached at %s#%d" lim p.name
+               (G.id node)))
+     | _ -> ());
+     if not reuse_static then begin
+       poke t "clear-preds";
+       if inst.ever_ran then
+         emit t (fun () ->
+             Telemetry.Preds_cleared { id = G.id node; name = p.name });
+       G.clear_preds t.graph node
+     end
+   with e ->
+     restore_preds ();
+     inst.consistent <- false;
+     record_failure t node p inst e;
+     raise e);
   t.exec_serial <- t.exec_serial + 1;
   let stamp = t.exec_serial in
   t.stack <- { fnode = node; stamp } :: t.stack;
@@ -560,18 +591,8 @@ let run_instance t node p inst =
     with e ->
       restore ();
       (* unwind: drop the edges recorded by the failed run and restore
-         those of the last successful one (sources evicted meanwhile are
-         skipped), under a fresh stamp for dedup *)
-      if not reuse_static then
-        masked t (fun () ->
-            G.clear_preds t.graph node;
-            t.exec_serial <- t.exec_serial + 1;
-            let st = t.exec_serial in
-            List.iter
-              (fun src ->
-                if not (G.payload src).discarded then
-                  G.add_edge ~stamp:st ~src ~dst:node)
-              saved_preds);
+         those of the last successful one *)
+      restore_preds ();
       (* leave the instance inconsistent so a later call retries *)
       inst.consistent <- false;
       record_failure t node p inst e;
@@ -748,15 +769,23 @@ let degrade_to_exhaustive t =
 
 (* Process one settle pop, quarantining instance failures: settlement is
    total — an exception from one instance must not abort propagation of
-   the others. Audit failures and watchdog degradations pass through. *)
+   the others. Audit failures pass through. Structural failures ([Cycle],
+   [Poisoned], [Watchdog]) are never quarantined — retrying cannot fix a
+   property of the graph — so a structurally-failed eager instance is
+   left inconsistent but unqueued: it degrades to demand recomputation
+   (the next read re-attempts it) instead of being retried by settles. *)
 let process_guarded t node p =
   match process_inconsistent t node p with
   | () -> ()
   | exception (Audit_failure _ as e) -> raise e
   | exception e ->
     Log.debug (fun m ->
-        m "settle: %s#%d failed (%s); quarantined" p.name (G.id node)
-          (Printexc.to_string e))
+        m "settle: %s#%d failed (%s); %s" p.name (G.id node)
+          (Printexc.to_string e)
+          (if List.memq node t.quarantined then
+             "quarantined (retried at the next settle)"
+           else if poisoned t node then "poisoned"
+           else "structural failure: degrades to demand recomputation"))
 
 let settle_partition t part =
   if not t.settling then begin
@@ -846,7 +875,14 @@ let settle_bounded t ~max_steps =
           | part :: _ ->
             let skipped = ref [] in
             let drained = ref false in
+            (* [reinsert] (a finalizer, so it runs before the quiescence
+               check below) empties [skipped]; latch whether anything was
+               skipped first — a drained partition whose on-stack nodes
+               went back into its heap is NOT quiescent and must keep its
+               dirty flag and its place on the dirty list. *)
+            let had_skipped = ref false in
             let reinsert () =
+              if !skipped <> [] then had_skipped := true;
               List.iter (Heap.insert part.queue) !skipped;
               skipped := []
             in
@@ -878,7 +914,7 @@ let settle_bounded t ~max_steps =
                   end
                 in
                 loop ());
-            if !drained && !skipped = [] then begin
+            if !drained && not !had_skipped then begin
               (* this partition is quiescent; move on *)
               part.on_dirty_list <- false;
               (* the partition may have been re-dirtied (and re-listed)

@@ -88,7 +88,11 @@ exception Audit_failure of string list
 
 exception Watchdog of string
 (** Raised when the call-stack depth watchdog trips (see {!create}'s
-    [max_stack_depth]) — runaway recursion through incremental calls. *)
+    [max_stack_depth]) — runaway recursion through incremental calls.
+    Structural, like {!Cycle}: a nested frame's depth violation unwinds
+    through its callers without consuming their retry budgets (retrying
+    cannot shrink the recursion, so charging would eventually poison
+    instances for a condition only a graph change can fix). *)
 
 val create :
   ?partitioning:bool ->

@@ -305,6 +305,37 @@ let test_stabilize_total_and_retry () =
     (List.memq (node_of f ()) (Engine.quarantined eng));
   check_audit "after retry" eng
 
+(* An injected fault that fires in run_instance BEFORE the body (the
+   clear-preds poke) must be recorded like a body failure: the settle
+   loop has already dequeued the instance, so a bypassed handler would
+   leave a previously-consistent eager instance unqueued with
+   [consistent] still set — its pending invalidation silently lost and
+   reads stale until the next unrelated input change. *)
+let test_prebody_fault_is_recorded () =
+  let eng = Engine.create () in
+  let a = Var.create eng ~name:"a" 1 in
+  let f =
+    Func.create eng ~name:"f" ~strategy:Engine.Eager (fun _ () ->
+        Var.get a * 2)
+  in
+  checki "clean" 2 (Func.call f ());
+  let fired = Faults.inject_nth eng ~only:"clear-preds" 1 in
+  Var.set a 5;
+  (* settlement is total: the pre-body fault is swallowed like any other
+     instance failure, but it must land f in quarantine *)
+  Engine.stabilize eng;
+  checkb "fault fired" true !fired;
+  Faults.clear eng;
+  check_audit "after pre-body fault" eng;
+  checkb "failure recorded: quarantined" true
+    (List.memq (node_of f ()) (Engine.quarantined eng));
+  (* the invalidation was not lost: a read right now recomputes *)
+  checki "read is not stale" 10 (Func.call f ());
+  Engine.stabilize eng;
+  checkb "quarantine drained" false
+    (List.memq (node_of f ()) (Engine.quarantined eng));
+  check_audit "recovered" eng
+
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -439,6 +470,66 @@ let test_stack_depth_watchdog () =
   checki "shallow recursion still fine" 5 (Func.call f 5);
   check_audit "after recovery" eng
 
+(* The depth limit is structural: a nested frame's Watchdog unwinding
+   through its callers must not charge their retry budgets (with
+   max_retries = 1 a single charge would poison every frame on the
+   chain for a condition retries can never fix). *)
+let test_stack_depth_watchdog_structural () =
+  let eng = Engine.create ~max_stack_depth:4 ~max_retries:1 () in
+  let f =
+    Func.create eng ~name:"deep" (fun self n ->
+        if n = 0 then 0 else Func.call self (n - 1) + 1)
+  in
+  (match Func.call f 100 with
+  | _ -> Alcotest.fail "expected Watchdog"
+  | exception Engine.Watchdog _ -> ());
+  checkb "outer frame not poisoned" false
+    (Engine.poisoned eng (node_of f 100));
+  checki "no retry budget consumed" 0
+    (Engine.failure_count eng (node_of f 100));
+  checkb "not quarantined" false
+    (List.memq (node_of f 100) (Engine.quarantined eng));
+  check_audit "after unwind" eng;
+  checki "recursion within the limit still fine" 3 (Func.call f 3);
+  check_audit "after recovery" eng
+
+(* settle_bounded must not declare a partition quiescent when nodes were
+   skipped because they sat on the call stack: regression for the
+   reinsert finalizer clearing the skip list before the quiescence
+   check, which stranded still-queued nodes in a partition no longer
+   flagged dirty. *)
+let test_settle_bounded_on_stack_skip () =
+  let eng = Engine.create () in
+  let a = Var.create eng ~name:"a" 1 in
+  let b = Var.create eng ~name:"b" 0 in
+  let inside = ref None in
+  let h =
+    Func.create eng ~name:"h" (fun _ () ->
+        let v = Var.get a in
+        if v > 1 then begin
+          (* re-dirty one of our own recorded dependencies and drive a
+             bounded settle from inside the execution: the drain pops
+             this very instance, finds it on-stack, and must keep the
+             partition dirty *)
+          Var.set b 9;
+          inside := Some (Engine.settle_bounded eng ~max_steps:100)
+        end;
+        (v * 2) + Var.get b)
+  in
+  checki "clean run" 2 (Func.call h ());
+  Var.set a 2;
+  checki "re-run" 13 (Func.call h ());
+  checkb "not quiescent while the executing instance is skipped" false
+    (match !inside with
+    | Some q -> q
+    | None -> Alcotest.fail "in-execution settle never ran");
+  (* the write during execution left h queued: its partition must still
+     be flagged dirty, or the next stabilize would never drain it *)
+  check_audit "after in-execution bounded settle" eng;
+  Engine.stabilize eng;
+  check_audit "after follow-up stabilize" eng;
+  checki "stable" 13 (Func.call h ())
+
 (* ------------------------------------------------------------------ *)
 (* Spreadsheet error-value surface                                     *)
 (* ------------------------------------------------------------------ *)
@@ -568,6 +659,8 @@ let () =
             test_poison_propagates_without_charge;
           Alcotest.test_case "stabilize is total and retries" `Quick
             test_stabilize_total_and_retry;
+          Alcotest.test_case "pre-body fault is recorded" `Quick
+            test_prebody_fault_is_recorded;
         ] );
       ( "transact",
         [
@@ -583,6 +676,10 @@ let () =
           Alcotest.test_case "settle steps degrade" `Quick
             test_settle_watchdog_degrades;
           Alcotest.test_case "stack depth" `Quick test_stack_depth_watchdog;
+          Alcotest.test_case "stack depth is structural" `Quick
+            test_stack_depth_watchdog_structural;
+          Alcotest.test_case "bounded settle skips stay dirty" `Quick
+            test_settle_bounded_on_stack_skip;
         ] );
       ( "spreadsheet",
         [
