@@ -4,7 +4,9 @@
      check      parse and type check a module
      print      parse, check, and unparse (the identity transform)
      transform  emit the Algorithm 2 display: access/modify/call inserted
-     analyze    report the §6.1 site analysis and §6.3 static partitions
+     analyze    report the §6.1 site analysis, interprocedural effects,
+                and §6.3 static partitions
+     lint       incremental-correctness diagnostics (ALF001–ALF006)
      run        execute a module (conventional or Alphonse execution)
      compare    run both executions, check Theorem 5.1, report speedup
      profile    run under telemetry: per-instance profile, hot-node DOT,
@@ -16,6 +18,9 @@ module P = Lang.Parser
 module Tc = Lang.Typecheck
 module Interp = Lang.Interp
 module Analysis = Transform.Analysis
+module Effects = Analyze.Effects
+module Diag = Analyze.Diag
+module Lint = Analyze.Lint
 module Incr = Transform.Incr_interp
 module Engine = Alphonse.Engine
 module Telemetry = Alphonse.Telemetry
@@ -173,20 +178,31 @@ let transform_cmd =
   Cmd.v (Cmd.info "transform" ~doc) Term.(const run $ path_arg)
 
 let analyze_cmd =
-  let run path =
+  let run path no_sharpen effects =
     with_module path (fun env ->
-        let r = Analysis.analyze env in
+        let r = Analysis.analyze ~sharpen:(not no_sharpen) env in
+        let sorted tbl =
+          Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+        in
         Fmt.pr "== incremental procedures ==@.";
-        Hashtbl.iter
-          (fun p pragma ->
-            Fmt.pr "  %s %a@." p Lang.Pretty.pp_pragma pragma)
-          r.Analysis.incremental_procs;
+        List.iter
+          (fun p ->
+            Fmt.pr "  %s %a@." p Lang.Pretty.pp_pragma
+              (Hashtbl.find r.Analysis.incremental_procs p))
+          (sorted r.Analysis.incremental_procs);
         Fmt.pr "== reachable from incremental code ==@.";
-        Hashtbl.iter (fun p () -> Fmt.pr "  %s@." p) r.Analysis.reachable_procs;
+        List.iter (Fmt.pr "  %s@.") (sorted r.Analysis.reachable_procs);
         Fmt.pr "== tracked globals ==@.";
-        Hashtbl.iter (fun g () -> Fmt.pr "  %s@." g) r.Analysis.tracked_globals;
+        List.iter (Fmt.pr "  %s@.") (sorted r.Analysis.tracked_globals);
         Fmt.pr "== tracked fields ==@.";
-        Hashtbl.iter (fun f () -> Fmt.pr "  %s@." f) r.Analysis.tracked_fields;
+        List.iter (Fmt.pr "  %s@.") (sorted r.Analysis.tracked_fields);
+        if effects then begin
+          let eff = Effects.compute env in
+          Fmt.pr "== interprocedural effects (transitive) ==@.";
+          List.iter
+            (fun p -> Fmt.pr "  %-14s %a@." p Effects.pp_eff (Effects.summary eff p))
+            (Effects.procs eff)
+        end;
         Fmt.pr "== instrumentation sites (6.1) ==@.%a@." Analysis.pp_stats
           r.Analysis.stats;
         Fmt.pr "== static partitions (6.3) ==@.";
@@ -195,8 +211,111 @@ let analyze_cmd =
           (Analysis.connectivity env r);
         0)
   in
-  let doc = "Report the static analysis: instrumented sites and partitions" in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ path_arg)
+  let no_sharpen =
+    Arg.(
+      value & flag
+      & info [ "no-sharpen" ]
+          ~doc:
+            "Disable the interprocedural-effect sharpening of the 6.1 \
+             analysis: report the pure reachability result (every location \
+             reachable incremental code may access is tracked, even if no \
+             instance could ever observe a change to it).")
+  in
+  let effects =
+    Arg.(
+      value & flag
+      & info [ "effects" ]
+          ~doc:
+            "Also print each procedure's transitive may-read/may-write \
+             summary over globals, fields, and the array pool.")
+  in
+  let doc =
+    "Report the static analysis: instrumented sites, effects, partitions"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ path_arg $ no_sharpen $ effects)
+
+let lint_cmd =
+  let run path json warn_error enable disable show_info list_rules =
+    if list_rules then begin
+      Fmt.pr "%a@?" Diag.pp_rules ();
+      0
+    end
+    else
+      match path with
+      | None ->
+        Fmt.epr "lint: a MODULE argument is required (or --rules)@.";
+        2
+      | Some path ->
+        with_module path (fun env ->
+            let enabled code =
+              (match enable with [] -> true | es -> List.mem code es)
+              && not (List.mem code disable)
+            in
+            let cfg = { Diag.enabled; warn_error; show_info } in
+            let ds = Diag.apply cfg (Lint.run env) in
+            let module_name = env.Tc.m.Lang.Ast.modname in
+            if json then
+              Fmt.pr "%s@."
+                (Alphonse.Json.to_string (Diag.to_json ~module_name ds))
+            else Fmt.pr "%a@?" (Diag.pp_text cfg ~module_name) ds;
+            Diag.exit_code cfg ds)
+  in
+  let path_opt =
+    let doc =
+      "Path to an Alphonse-L module, '-' for stdin, or a built-in sample \
+       name."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"MODULE" ~doc)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the findings as a JSON object instead of text.")
+  in
+  let warn_error =
+    Arg.(
+      value & flag
+      & info [ "warn-error" ]
+          ~doc:"Exit nonzero on warnings, not only on errors.")
+  in
+  let enable =
+    Arg.(
+      value & opt_all string []
+      & info [ "enable" ] ~docv:"CODE"
+          ~doc:
+            "Run only the listed rule(s) (repeatable). Default: all rules.")
+  in
+  let disable =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable" ] ~docv:"CODE"
+          ~doc:"Disable the listed rule(s) (repeatable).")
+  in
+  let show_info =
+    Arg.(
+      value & flag
+      & info [ "info" ]
+          ~doc:
+            "Show info-severity findings (hidden by default; they never \
+             affect the exit code).")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"List the rule registry and exit.")
+  in
+  let doc =
+    "Incremental-correctness diagnostics: unsound UNCHECKED pragmas, \
+     self-invalidating or statically cyclic incremental procedures, dead \
+     incremental code, and dead tracked dependencies (rules \
+     ALF001-ALF006)."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ path_opt $ json $ warn_error $ enable $ disable $ show_info
+      $ list_rules)
 
 let run_cmd =
   let run path conventional strategy partitioning fuel log trace profile
@@ -442,6 +561,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; print_cmd; transform_cmd; analyze_cmd; run_cmd;
-            compare_cmd; profile_cmd; graph_cmd; samples_cmd;
+            check_cmd; print_cmd; transform_cmd; analyze_cmd; lint_cmd;
+            run_cmd; compare_cmd; profile_cmd; graph_cmd; samples_cmd;
           ]))

@@ -1,0 +1,207 @@
+(** Diagnostics for the incremental-correctness linter: rule codes with
+    default severities, [Ast.pos]-anchored findings, text and JSON
+    rendering (JSON through [Alphonse.Json]), and the enable/disable +
+    [--warn-error] configuration the CLI exposes.
+
+    The §6 optimizations are only as good as the static facts feeding
+    them, and the paper's [(*UNCHECKED*)] pragma is explicitly
+    programmer-trusted (§6.4) — these diagnostics are the checking layer
+    that turns those trusted annotations into verified ones. *)
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type t = {
+  rule : string;  (** e.g. ["ALF001"] *)
+  severity : severity;
+  pos : Lang.Ast.pos;
+  message : string;
+}
+
+type rule = {
+  code : string;
+  title : string;
+  default_severity : severity;
+  explain : string;  (** one-paragraph description for [--rules] *)
+}
+
+let rules =
+  [
+    {
+      code = "ALF001";
+      title = "unsound UNCHECKED";
+      default_severity = Warning;
+      explain =
+        "An (*UNCHECKED*) expression may read storage that reachable \
+         incremental code may write. The pragma prunes exactly that \
+         dependency, so the enclosing instance is never invalidated when \
+         the incremental portion itself changes the pruned location — the \
+         cached result goes silently stale (paper 6.4).";
+    };
+    {
+      code = "ALF002";
+      title = "self-invalidation hazard";
+      default_severity = Warning;
+      explain =
+        "A (*MAINTAINED*)/(*CACHED*) procedure may both read and write the \
+         same global. Its execution then invalidates its own result: at \
+         best wasted re-execution, at worst Engine.Cycle at run time. \
+         (Restricted to globals — a global is one statically-known cell, \
+         while field effects are per-object and name-coarse.)";
+    };
+    {
+      code = "ALF003";
+      title = "statically cyclic incremental call";
+      default_severity = Error;
+      explain =
+        "Incremental procedures call each other in a cycle passing their \
+         argument vectors through unchanged, so the cycle re-enters the \
+         same argument-table entry — a guaranteed Engine.Cycle when the \
+         call executes. (Recursion that shrinks or changes its arguments, \
+         like Fib(n-1), is fine and not flagged.)";
+    };
+    {
+      code = "ALF004";
+      title = "unreachable incremental procedure";
+      default_severity = Warning;
+      explain =
+        "A procedure carries a pragma but is unreachable from the module \
+         body over the resolved call graph (method calls resolved to every \
+         override dynamic dispatch could select). Its argument table can \
+         never be populated: dead incremental code.";
+    };
+    {
+      code = "ALF005";
+      title = "dead dependency";
+      default_severity = Info;
+      explain =
+        "A tracked global or field is never written anywhere in the \
+         program, so its dependency edges can never fire. The \
+         effect-sharpened 6.1 analysis removes this instrumentation; the \
+         finding points at storage whose tracking was pure overhead.";
+    };
+    {
+      code = "ALF006";
+      title = "pruned write";
+      default_severity = Warning;
+      explain =
+        "An (*UNCHECKED*) expression may (transitively) write tracked \
+         storage. The pruned region runs with dependency recording masked, \
+         so the writing instance records no write dependency for the \
+         mutation — marks raised mid-execution from a masked region \
+         undermine the engine's bookkeeping and the pragma's read-only \
+         spirit.";
+    };
+  ]
+
+let find_rule code = List.find_opt (fun r -> r.code = code) rules
+
+let default_severity code =
+  match find_rule code with Some r -> r.default_severity | None -> Warning
+
+let make ~rule ~pos fmt =
+  Fmt.kstr
+    (fun message -> { rule; severity = default_severity rule; pos; message })
+    fmt
+
+(** Stable presentation order: position, then rule code, then text. *)
+let sort ds =
+  List.sort
+    (fun a b ->
+      match compare (a.pos.Lang.Ast.line, a.pos.Lang.Ast.col)
+              (b.pos.Lang.Ast.line, b.pos.Lang.Ast.col)
+      with
+      | 0 -> ( match compare a.rule b.rule with 0 -> compare a.message b.message | c -> c)
+      | c -> c)
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  enabled : string -> bool;  (** rule code ↦ participates at all *)
+  warn_error : bool;  (** warnings affect the exit code *)
+  show_info : bool;  (** include Info findings in text output *)
+}
+
+let default_config =
+  { enabled = (fun _ -> true); warn_error = false; show_info = false }
+
+let apply cfg ds = List.filter (fun d -> cfg.enabled d.rule) ds
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+(** Exit status under [cfg] for the (already [apply]-filtered) findings:
+    errors always fail; warnings fail under [--warn-error]; Info never
+    affects the exit code. *)
+let exit_code cfg ds =
+  let errors, warnings, _ = counts ds in
+  if errors > 0 || (cfg.warn_error && warnings > 0) then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_finding ~module_name ppf d =
+  Fmt.pf ppf "%s:%a: %s %s: %s" module_name Lang.Ast.pp_pos d.pos
+    (severity_name d.severity) d.rule d.message
+
+let pp_text cfg ~module_name ppf ds =
+  let shown =
+    List.filter (fun d -> cfg.show_info || d.severity <> Info) ds
+  in
+  List.iter (fun d -> Fmt.pf ppf "%a@." (pp_finding ~module_name) d) shown;
+  let errors, warnings, infos = counts ds in
+  if errors = 0 && warnings = 0 && (infos = 0 || not cfg.show_info) then
+    Fmt.pf ppf "%s: clean%s@." module_name
+      (if infos > 0 then Fmt.str " (%d info finding(s) hidden; --info)" infos
+       else "")
+  else
+    Fmt.pf ppf "%s: %d error(s), %d warning(s), %d info@." module_name errors
+      warnings infos
+
+let to_json ~module_name ds =
+  let module J = Alphonse.Json in
+  let errors, warnings, infos = counts ds in
+  J.Obj
+    [
+      ("module", J.Str module_name);
+      ( "findings",
+        J.Arr
+          (List.map
+             (fun d ->
+               J.Obj
+                 [
+                   ("rule", J.Str d.rule);
+                   ("severity", J.Str (severity_name d.severity));
+                   ("line", J.Num (float_of_int d.pos.Lang.Ast.line));
+                   ("col", J.Num (float_of_int d.pos.Lang.Ast.col));
+                   ("message", J.Str d.message);
+                 ])
+             ds) );
+      ("errors", J.Num (float_of_int errors));
+      ("warnings", J.Num (float_of_int warnings));
+      ("infos", J.Num (float_of_int infos));
+    ]
+
+let pp_rules ppf () =
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%s  %-9s %s@.    %s@." r.code
+        (severity_name r.default_severity)
+        r.title r.explain)
+    rules

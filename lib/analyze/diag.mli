@@ -1,0 +1,60 @@
+(** Positioned diagnostics for the incremental-correctness linter: the
+    rule registry (codes, titles, default severities), finding
+    construction and ordering, per-rule enable/disable + [--warn-error]
+    configuration, and text/JSON rendering. *)
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+val severity_rank : severity -> int
+(** [Info] < [Warning] < [Error]. *)
+
+type t = {
+  rule : string;  (** e.g. ["ALF001"] *)
+  severity : severity;
+  pos : Lang.Ast.pos;
+  message : string;
+}
+
+type rule = {
+  code : string;
+  title : string;
+  default_severity : severity;
+  explain : string;
+}
+
+val rules : rule list
+(** The registry, in code order (ALF001…). *)
+
+val find_rule : string -> rule option
+val default_severity : string -> severity
+
+val make : rule:string -> pos:Lang.Ast.pos -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** Build a finding with the rule's default severity. *)
+
+val sort : t list -> t list
+(** Position, then rule code, then message. *)
+
+type config = {
+  enabled : string -> bool;
+  warn_error : bool;
+  show_info : bool;
+}
+
+val default_config : config
+(** All rules on, warnings don't fail, Info hidden. *)
+
+val apply : config -> t list -> t list
+(** Drop findings of disabled rules. *)
+
+val counts : t list -> int * int * int
+(** (errors, warnings, infos). *)
+
+val exit_code : config -> t list -> int
+(** 1 if any error, or any warning under [warn_error]; else 0. Info
+    findings never affect the exit code. *)
+
+val pp_finding : module_name:string -> t Fmt.t
+val pp_text : config -> module_name:string -> Format.formatter -> t list -> unit
+val to_json : module_name:string -> t list -> Alphonse.Json.t
+val pp_rules : unit Fmt.t

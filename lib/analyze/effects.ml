@@ -1,0 +1,221 @@
+(** Interprocedural effect analysis: per-procedure may-read and
+    may-write sets over the module's {e storage} — globals, record
+    fields (by name, the §6.1 granularity), and array elements (one
+    coarse [Arrays] location, matching the runtime's treatment).
+
+    Local variables, parameters and FOR indices are stack storage; by
+    the TOP restriction no incremental instance can retain dependencies
+    on them, so they carry no effects. Calls are resolved through
+    {!Callgraph} (method calls to every implementation in the static
+    receiver's subtree) and the {e summary} sets close the direct sets
+    over the call graph with a fixed point — [summary p] is everything
+    an invocation of [p] may read or write, transitively.
+
+    These are the static facts behind two consumers: the
+    incremental-correctness linter ({!Lint}) and the sharpened §6.1
+    instrumentation analysis in [Transform.Analysis], which downgrades
+    tracked sites no incremental instance can observe. *)
+
+open Lang.Ast
+module Tc = Lang.Typecheck
+
+type loc =
+  | Global of string
+  | Field of string  (** by field name — the §6.1 granularity *)
+  | Arrays  (** all array elements, collapsed *)
+
+let compare_loc (a : loc) (b : loc) = compare a b
+
+module Locs = Set.Make (struct
+  type t = loc
+
+  let compare = compare_loc
+end)
+
+type eff = { reads : Locs.t; writes : Locs.t }
+
+let empty_eff = { reads = Locs.empty; writes = Locs.empty }
+
+let union_eff a b =
+  { reads = Locs.union a.reads b.reads; writes = Locs.union a.writes b.writes }
+
+let eff_equal a b = Locs.equal a.reads b.reads && Locs.equal a.writes b.writes
+
+let main_name = Callgraph.main_name
+
+type t = {
+  env : Tc.env;
+  direct : (string, eff) Hashtbl.t;
+  summary : (string, eff) Hashtbl.t;
+  callees : (string, string list) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Direct effects of one procedure (or the module body)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Reads performed while evaluating [e] (no local-variable effects;
+   callee effects are NOT included here — the fixpoint adds them). *)
+let expr_reads ~locals acc e =
+  let reads = ref acc in
+  Callgraph.iter_expr
+    (fun e ->
+      match e.desc with
+      | Var x ->
+        if e.note.is_global || not (Hashtbl.mem locals x) then
+          reads := Locs.add (Global x) !reads
+      | Field (_, f) -> reads := Locs.add (Field f) !reads
+      | Index _ -> reads := Locs.add Arrays !reads
+      | _ -> ())
+    e;
+  !reads
+
+let direct_of_body (pd : (string * ty) list) local_decls body inits :
+    (string, unit) Hashtbl.t -> eff =
+ fun locals ->
+  List.iter (fun (n, _) -> Hashtbl.replace locals n ()) pd;
+  List.iter (fun (l : local_decl) -> Hashtbl.replace locals l.lname ()) local_decls;
+  let reads = ref Locs.empty and writes = ref Locs.empty in
+  let rd e = reads := expr_reads ~locals !reads e in
+  List.iter rd inits;
+  let rec stmt s =
+    match s.sdesc with
+    | Assign (d, e) ->
+      (match d.desc with
+      | Var x ->
+        if d.note.is_global || not (Hashtbl.mem locals x) then
+          writes := Locs.add (Global x) !writes
+      | Field (b, f) ->
+        writes := Locs.add (Field f) !writes;
+        rd b
+      | Index (b, i) ->
+        writes := Locs.add Arrays !writes;
+        rd b;
+        rd i
+      | _ -> ());
+      rd e
+    | Call_stmt e -> rd e
+    | If (branches, els) ->
+      List.iter
+        (fun (c, body) ->
+          rd c;
+          List.iter stmt body)
+        branches;
+      List.iter stmt els
+    | While (c, body) ->
+      rd c;
+      List.iter stmt body
+    | Repeat (body, c) ->
+      List.iter stmt body;
+      rd c
+    | For (v, a, b, body) ->
+      rd a;
+      rd b;
+      let shadowed = Hashtbl.mem locals v in
+      Hashtbl.replace locals v ();
+      List.iter stmt body;
+      if not shadowed then Hashtbl.remove locals v
+    | Return (Some e) -> rd e
+    | Return None -> ()
+  in
+  List.iter stmt body;
+  { reads = !reads; writes = !writes }
+
+let direct_of_proc (pd : proc_decl) =
+  direct_of_body pd.params pd.locals pd.body
+    (List.filter_map (fun l -> l.linit) pd.locals)
+    (Hashtbl.create 8)
+
+let direct_of_main (m : module_) =
+  direct_of_body [] [] m.main
+    (List.filter_map (fun g -> g.ginit) m.globals)
+    (Hashtbl.create 8)
+
+(* ------------------------------------------------------------------ *)
+(* The fixed point                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let compute (env : Tc.env) : t =
+  let direct = Hashtbl.create 16 in
+  List.iter
+    (fun (pd : proc_decl) -> Hashtbl.replace direct pd.pname (direct_of_proc pd))
+    env.m.procs;
+  Hashtbl.replace direct main_name (direct_of_main env.m);
+  let callees = Callgraph.callees env in
+  let summary = Hashtbl.copy direct in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun p d ->
+        let next =
+          List.fold_left
+            (fun acc q ->
+              match Hashtbl.find_opt summary q with
+              | Some s -> union_eff acc s
+              | None -> acc)
+            d
+            (Option.value ~default:[] (Hashtbl.find_opt callees p))
+        in
+        if not (eff_equal next (Hashtbl.find summary p)) then begin
+          Hashtbl.replace summary p next;
+          changed := true
+        end)
+      direct
+  done;
+  { env; direct; summary; callees }
+
+let direct t p = Option.value ~default:empty_eff (Hashtbl.find_opt t.direct p)
+
+let summary t p =
+  Option.value ~default:empty_eff (Hashtbl.find_opt t.summary p)
+
+let callees t p = Option.value ~default:[] (Hashtbl.find_opt t.callees p)
+
+let procs t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.direct [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Expression-level queries (the UNCHECKED rules)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Transitive effect of evaluating one expression in a scope whose
+    local names are [locals]: its own reads plus the summaries of every
+    procedure it may call (expressions cannot write directly, so any
+    writes come from callees). *)
+let expr_effect t ~locals e =
+  let acc = ref { reads = expr_reads ~locals Locs.empty e; writes = Locs.empty } in
+  Callgraph.iter_expr
+    (fun e ->
+      let add_target p = acc := union_eff !acc (summary t p) in
+      match e.desc with
+      | Call (Cproc p, _) -> add_target p
+      | Call (Cmethod (o, m), _) -> (
+        match o.note.ty with
+        | Some (Tobj cls) ->
+          List.iter
+            (fun (mi : Tc.method_info) -> add_target mi.mi_impl)
+            (Callgraph.dispatch_targets t.env cls m)
+        | _ -> ())
+      | _ -> ())
+    e;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let loc_name = function
+  | Global g -> "global:" ^ g
+  | Field f -> "field:" ^ f
+  | Arrays -> "arrays"
+
+let pp_loc ppf l = Fmt.string ppf (loc_name l)
+
+let pp_locs ppf s =
+  if Locs.is_empty s then Fmt.string ppf "-"
+  else
+    Fmt.(list ~sep:(any " ") pp_loc) ppf (Locs.elements s)
+
+let pp_eff ppf e =
+  Fmt.pf ppf "reads {%a} writes {%a}" pp_locs e.reads pp_locs e.writes

@@ -1,0 +1,7 @@
+(** The incremental-correctness lint rules (ALF001–ALF006). See
+    {!Diag.rules} for the registry and default severities. *)
+
+val run : Lang.Typecheck.env -> Diag.t list
+(** All findings for a checked module, in {!Diag.sort} order. Filtering
+    (per-rule enable/disable) and exit-code policy are the caller's job
+    via {!Diag.apply} / {!Diag.exit_code}. *)

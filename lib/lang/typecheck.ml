@@ -21,6 +21,10 @@ type method_info = {
   mi_impl : string;  (** implementing procedure for this class *)
   mi_pragma : pragma option;
   mi_origin : string;  (** class that introduced the method *)
+  mi_pos : pos;
+      (** declaration that bound [mi_impl]: the METHODS entry, or the
+          OVERRIDES entry that replaced it — the anchor for diagnostics
+          about this binding *)
 }
 
 type class_info = {
@@ -160,6 +164,7 @@ let build_classes errors m =
                       mi_impl = md.mimpl;
                       mi_pragma = md.mpragma;
                       mi_origin = td.tname;
+                      mi_pos = md.mpos;
                     } );
                 ])
           base.ci_methods td.methods
@@ -179,7 +184,9 @@ let build_classes errors m =
               List.map
                 (fun (n, m) ->
                   if n = od.oname then
-                    (n, { mi with mi_impl = od.oimpl; mi_pragma = pragma })
+                    ( n,
+                      { mi with mi_impl = od.oimpl; mi_pragma = pragma;
+                        mi_pos = od.opos } )
                   else (n, m))
                 acc)
           methods td.overrides

@@ -18,6 +18,8 @@ type method_info = {
   mi_impl : string;  (** implementing procedure for this class *)
   mi_pragma : Ast.pragma option;  (** effective pragma, overrides applied *)
   mi_origin : string;  (** class that introduced the method *)
+  mi_pos : Ast.pos;
+      (** declaration that bound [mi_impl] (METHODS or OVERRIDES entry) *)
 }
 
 type class_info = {

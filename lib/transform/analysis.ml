@@ -18,7 +18,13 @@
 
     The analysis is a reachability fixed point over the call graph, with
     method calls resolved to every implementation in the static receiver
-    type's subtree (sound for our single-dispatch language).
+    type's subtree (sound for our single-dispatch language), {e sharpened}
+    by the interprocedural effect analysis of [Analyze.Effects]: a
+    location accessed by reachable incremental code is still untracked
+    when no incremental instance can ever observe a change to it — it is
+    never written anywhere, or never (transitively) read by an
+    incremental procedure. Pass [~sharpen:false] for the pure
+    reachability analysis.
 
     {b Static graph partitioning (§6.3).} [connectivity] builds the type
     connectivity graph (an edge when one object type has a pointer field
@@ -54,26 +60,10 @@ type result = {
   stats : site_stats;
 }
 
-let subclasses (env : Tc.env) cls =
-  Hashtbl.fold
-    (fun name _ acc -> if Tc.is_subclass env name cls then name :: acc else acc)
-    env.classes []
-
-(* Every implementation a call [recv.m(…)] with static receiver type
-   [cls] can dispatch to. *)
-let dispatch_targets env cls mname =
-  List.filter_map
-    (fun sub ->
-      match Tc.lookup_method env sub mname with
-      | Some mi -> Some mi
-      | None -> None)
-    (subclasses env cls)
-
-(* Does some dispatch target of this method carry a pragma? *)
-let method_may_be_incremental env cls mname =
-  List.exists
-    (fun (mi : Tc.method_info) -> mi.mi_pragma <> None)
-    (dispatch_targets env cls mname)
+(* Call-graph resolution lives in [Analyze.Callgraph]; re-exported here
+   as the stable public surface of the transformation's analysis. *)
+let dispatch_targets = Analyze.Callgraph.dispatch_targets
+let method_may_be_incremental = Analyze.Callgraph.method_may_be_incremental
 
 (* Iterate over the direct callees (procedure names) and accessed
    globals/fields of one procedure body. *)
@@ -155,25 +145,10 @@ let iter_proc_accesses env (pd : proc_decl) ~on_call ~on_global ~on_field
 (* The analysis                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let analyze (env : Tc.env) : result =
+let analyze ?(sharpen = true) (env : Tc.env) : result =
   let m = env.m in
   (* 1. the incremental procedures: cached procs + maintained impls *)
-  let incremental_procs = Hashtbl.create 8 in
-  List.iter
-    (fun (pd : proc_decl) ->
-      match pd.ppragma with
-      | Some p -> Hashtbl.replace incremental_procs pd.pname p
-      | None -> ())
-    m.procs;
-  Hashtbl.iter
-    (fun _ (ci : Tc.class_info) ->
-      List.iter
-        (fun (_, (mi : Tc.method_info)) ->
-          match mi.mi_pragma with
-          | Some p -> Hashtbl.replace incremental_procs mi.mi_impl p
-          | None -> ())
-        ci.ci_methods)
-    env.classes;
+  let incremental_procs = Analyze.Callgraph.incremental_procs env in
   (* 2. reachability from incremental procedures *)
   let reachable_procs = Hashtbl.create 16 in
   let work = Queue.create () in
@@ -203,6 +178,39 @@ let analyze (env : Tc.env) : result =
         ~on_field:(fun f -> Hashtbl.replace tracked_fields f ())
         ~on_array:(fun () -> arrays_tracked := true)
   done;
+  (* 2b. sharpen with the interprocedural effect analysis: a location
+     needs instrumentation only if some incremental instance can observe
+     a change to it — i.e. it is (transitively) READ by an incremental
+     procedure AND WRITTEN somewhere in the program. A never-written
+     location cannot invalidate (initializers run before any instance
+     exists), and a location no incremental execution reads acquires no
+     dependency edges for a write to fire. The reachability sets of step
+     2 use accesses (reads or writes), so this strictly shrinks them. *)
+  if sharpen then begin
+    let module E = Analyze.Effects in
+    let eff = E.compute env in
+    let incr_reads =
+      Hashtbl.fold
+        (fun p _ acc -> E.Locs.union acc (E.summary eff p).E.reads)
+        incremental_procs E.Locs.empty
+    in
+    let all_writes =
+      List.fold_left
+        (fun acc p -> E.Locs.union acc (E.direct eff p).E.writes)
+        E.Locs.empty (E.procs eff)
+    in
+    let keep l = E.Locs.mem l incr_reads && E.Locs.mem l all_writes in
+    let drop_unless mk tbl =
+      let dead =
+        Hashtbl.fold (fun k () acc -> if keep (mk k) then acc else k :: acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) dead
+    in
+    drop_unless (fun g -> E.Global g) tracked_globals;
+    drop_unless (fun f -> E.Field f) tracked_fields;
+    arrays_tracked := !arrays_tracked && keep E.Arrays
+  end;
   let arrays_tracked = !arrays_tracked in
   (* 3. mark every site in the module *)
   let tr = ref 0 and ur = ref 0 and tw = ref 0 and uw = ref 0 in

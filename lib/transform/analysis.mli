@@ -38,8 +38,15 @@ type result = {
   stats : site_stats;
 }
 
-val analyze : Lang.Typecheck.env -> result
-(** Run the analysis and mark every site note in the module. *)
+val analyze : ?sharpen:bool -> Lang.Typecheck.env -> result
+(** Run the analysis and mark every site note in the module. With
+    [sharpen] (the default), the reachability result is refined by the
+    interprocedural effect analysis ([Analyze.Effects]): a global, field
+    or the array pool stays tracked only if incremental code may
+    (transitively) read it {e and} some code may write it — otherwise no
+    instance can ever observe a change there and the instrumentation is
+    dropped. [~sharpen:false] reproduces the pure reachability
+    analysis. *)
 
 val pp_stats : Format.formatter -> site_stats -> unit
 

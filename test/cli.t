@@ -122,3 +122,102 @@ The provenance query names the mutated cell behind a re-execution
   $ alphonsec profile sums_maintained --why NoSuch
   no recorded execution of "NoSuch" (is it an instance name? try --dot to see them)
   [1]
+
+The full analysis report: listings are sorted, --effects adds each
+procedure's transitive may-read/may-write summary, and the
+effect-sharpened 6.1 analysis untracks the never-written globals p1 and
+p3 (compare the read counts with --no-sharpen):
+
+  $ alphonsec analyze unchecked_lookup --effects
+  == incremental procedures ==
+    Lookup (*MAINTAINED*)
+  == reachable from incremental code ==
+    Lookup
+    Walk
+  == tracked globals ==
+    p2
+    target
+  == tracked fields ==
+  == interprocedural effects (transitive) ==
+    <main>         reads {global:p1 global:p2 global:p3 global:probe global:target} writes {global:p2 global:probe global:target}
+    Lookup         reads {global:p1 global:p2 global:p3 global:target} writes {-}
+    Walk           reads {global:p1 global:p2 global:p3} writes {-}
+  == instrumentation sites (6.1) ==
+  reads:  5 tracked / 7 untracked
+  writes: 3 tracked / 2 untracked
+  calls:  3 tracked / 4 untracked
+  == static partitions (6.3) ==
+    global:p2                component 1
+    global:target            component 3
+    proc:Lookup              component 3
+    type:Probe               component 3
+
+  $ alphonsec analyze unchecked_lookup --no-sharpen | grep -A3 'instrumentation'
+  == instrumentation sites (6.1) ==
+  reads:  7 tracked / 5 untracked
+  writes: 3 tracked / 2 untracked
+  calls:  3 tracked / 4 untracked
+
+Sharpening never changes what the program computes (Theorem 5.1):
+
+  $ alphonsec compare unchecked_lookup | head -1
+  Theorem 5.1 (same output): HOLDS
+
+The graph view without storage nodes shows the instance lattice only:
+
+  $ alphonsec graph fib_cached --storage=false | head -5
+  digraph alphonse {
+    rankdir=BT;
+    n21 [label="Fib#21", shape=ellipse];
+    n20 [label="Fib#20", shape=ellipse];
+    n19 [label="Fib#19", shape=ellipse];
+
+The incremental-correctness linter: every built-in sample is clean
+(unchecked_lookup and spreadsheet each carry hidden info-severity
+ALF005 notes about never-written tracked storage):
+
+  $ for s in $(alphonsec samples); do alphonsec lint --warn-error "$s" || echo "FAILED: $s"; done
+  HeightTree: clean
+  AvlTree: clean
+  Fib: clean
+  Sums: clean
+  Unchecked: clean (2 info finding(s) hidden; --info)
+  Zoo: clean
+  Spread: clean (1 info finding(s) hidden; --info)
+  Sieve: clean
+  Dist: clean
+
+  $ alphonsec lint unchecked_lookup --info
+  Unchecked:4:5: info ALF005: tracked global p1 is never written — its dependency edges can never fire
+  Unchecked:4:5: info ALF005: tracked global p3 is never written — its dependency edges can never fire
+  Unchecked: 0 error(s), 0 warning(s), 2 info
+
+The deliberately-unsound fixture is flagged at the offending UNCHECKED
+expression, and --warn-error turns the finding into a failure:
+
+  $ alphonsec lint ../examples/unsound_unchecked.alf
+  Unsound:36:10: warning ALF001: UNCHECKED prunes dependencies on global:cache, which incremental code may write — the enclosing instance will not be invalidated by those writes
+  Unsound: 0 error(s), 1 warning(s), 0 info
+
+  $ alphonsec lint --warn-error ../examples/unsound_unchecked.alf
+  Unsound:36:10: warning ALF001: UNCHECKED prunes dependencies on global:cache, which incremental code may write — the enclosing instance will not be invalidated by those writes
+  Unsound: 0 error(s), 1 warning(s), 0 info
+  [1]
+
+…and it is not just a lint opinion — the program genuinely violates
+Theorem 5.1 (the probe result goes stale):
+
+  $ alphonsec compare ../examples/unsound_unchecked.alf | head -1
+  Theorem 5.1 (same output): VIOLATED
+
+JSON output and per-rule selection:
+
+  $ alphonsec lint --json ../examples/unsound_unchecked.alf | head -c 80
+  {"module":"Unsound","findings":[{"rule":"ALF001","severity":"warning","line":36,
+
+  $ alphonsec lint --disable ALF001 --warn-error ../examples/unsound_unchecked.alf
+  Unsound: clean
+
+  $ alphonsec lint --rules | head -2
+  ALF001  warning   unsound UNCHECKED
+      An (*UNCHECKED*) expression may read storage that reachable incremental code may write. The pragma prunes exactly that dependency, so the enclosing instance is never invalidated when the incremental portion itself changes the pruned location — the cached result goes silently stale (paper 6.4).

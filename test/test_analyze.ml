@@ -1,0 +1,390 @@
+(* Tests for the Analyze library: the interprocedural effect analysis
+   (direct and transitive may-read/may-write sets, dispatch-aware), and
+   the incremental-correctness lint rules ALF001–ALF006 — one positive
+   fixture per rule, plus the blanket property that every built-in
+   sample is warning- and error-free. *)
+
+module P = Lang.Parser
+module Tc = Lang.Typecheck
+module Cg = Analyze.Callgraph
+module E = Analyze.Effects
+module Diag = Analyze.Diag
+module Lint = Analyze.Lint
+
+let checkb = Alcotest.(check bool)
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let compile src =
+  match P.parse src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok m -> (
+    match Tc.check m with
+    | Ok env -> env
+    | Error es ->
+      Alcotest.failf "typecheck failed: %a"
+        Fmt.(list ~sep:semi Tc.pp_error)
+        es)
+
+let locs ls = E.Locs.of_list ls
+
+let check_locs name expected actual =
+  checks name
+    (Fmt.str "%a" E.pp_locs (locs expected))
+    (Fmt.str "%a" E.pp_locs actual)
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Chain: Top reads g1 directly, calls Mid which writes g2, which calls
+   Leaf reading field f and the arrays pool. Locals/params contribute
+   nothing. *)
+let effects_src =
+  {|MODULE M;
+    TYPE T = OBJECT f : INTEGER; END;
+    VAR g1, g2 : INTEGER;
+    VAR o : T;
+    VAR arr : ARRAY [1..4] OF INTEGER;
+    PROCEDURE Leaf(x : INTEGER) : INTEGER =
+    VAR tmp : INTEGER;
+    BEGIN
+      tmp := o.f;
+      RETURN tmp + arr[x]
+    END Leaf;
+    PROCEDURE Mid() : INTEGER =
+    BEGIN
+      g2 := 1;
+      RETURN Leaf(2)
+    END Mid;
+    PROCEDURE Top() : INTEGER =
+    BEGIN
+      RETURN g1 + Mid()
+    END Top;
+    BEGIN
+      o := NEW(T);
+      o.f := 7;
+      arr[2] := 5;
+      g1 := 1;
+      Print(Top(), "\n")
+    END M.|}
+
+let test_direct_effects () =
+  let env = compile effects_src in
+  let eff = E.compute env in
+  let d p = E.direct eff p in
+  check_locs "Leaf direct reads"
+    [ E.Global "o"; E.Global "arr"; E.Field "f"; E.Arrays ]
+    (d "Leaf").E.reads;
+  check_locs "Leaf direct writes" [] (d "Leaf").E.writes;
+  check_locs "Mid direct reads" [] (d "Mid").E.reads;
+  check_locs "Mid direct writes" [ E.Global "g2" ] (d "Mid").E.writes;
+  check_locs "Top direct reads" [ E.Global "g1" ] (d "Top").E.reads;
+  (* the module body: initializers + main statements *)
+  (* arr[2] := 5 writes the element pool and READS the array variable *)
+  check_locs "<main> direct writes"
+    [ E.Global "o"; E.Global "g1"; E.Field "f"; E.Arrays ]
+    (d E.main_name).E.writes
+
+let test_summary_effects () =
+  let env = compile effects_src in
+  let eff = E.compute env in
+  let s p = E.summary eff p in
+  check_locs "Top transitive reads"
+    [ E.Global "g1"; E.Global "o"; E.Global "arr"; E.Field "f"; E.Arrays ]
+    (s "Top").E.reads;
+  check_locs "Top transitive writes" [ E.Global "g2" ] (s "Top").E.writes;
+  check_locs "<main> transitive writes"
+    [ E.Global "o"; E.Global "g1"; E.Global "g2"; E.Field "f"; E.Arrays ]
+    (s E.main_name).E.writes
+
+(* Method calls contribute every dispatch target's summary. *)
+let dispatch_src =
+  {|MODULE M;
+    VAR ga, gb : INTEGER;
+    VAR it : A;
+    TYPE A = OBJECT METHODS (*MAINTAINED*) v() : INTEGER := VA; END;
+    TYPE B = A OBJECT OVERRIDES v := VB; END;
+    PROCEDURE VA(s : A) : INTEGER = BEGIN RETURN ga END VA;
+    PROCEDURE VB(s : A) : INTEGER = BEGIN RETURN gb END VB;
+    PROCEDURE Probe(x : A) : INTEGER = BEGIN RETURN x.v() END Probe;
+    BEGIN
+      it := NEW(B);
+      ga := 1; gb := 2;
+      Print(Probe(it), "\n")
+    END M.|}
+
+let test_dispatch_effects () =
+  let env = compile dispatch_src in
+  let eff = E.compute env in
+  (* a static-A receiver may dispatch to VA or VB: both globals appear *)
+  check_locs "Probe reads both targets' globals"
+    [ E.Global "ga"; E.Global "gb" ]
+    (E.summary eff "Probe").E.reads;
+  let targets =
+    Cg.dispatch_targets env "A" "v"
+    |> List.map (fun (mi : Tc.method_info) -> mi.mi_impl)
+    |> List.sort compare
+  in
+  checks "dispatch targets" "VA VB" (String.concat " " targets)
+
+let test_fixpoint_recursion () =
+  (* mutual recursion converges and both procs see both globals *)
+  let env =
+    compile
+      {|MODULE M;
+        VAR a, b : INTEGER;
+        PROCEDURE Even(n : INTEGER) : INTEGER =
+        BEGIN
+          IF n = 0 THEN RETURN a END;
+          RETURN Odd(n - 1)
+        END Even;
+        PROCEDURE Odd(n : INTEGER) : INTEGER =
+        BEGIN
+          IF n = 0 THEN RETURN b END;
+          RETURN Even(n - 1)
+        END Odd;
+        BEGIN
+          a := 1; b := 2;
+          Print(Even(4), "\n")
+        END M.|}
+  in
+  let eff = E.compute env in
+  check_locs "Even sees both" [ E.Global "a"; E.Global "b" ]
+    (E.summary eff "Even").E.reads;
+  check_locs "Odd sees both" [ E.Global "a"; E.Global "b" ]
+    (E.summary eff "Odd").E.reads
+
+(* ------------------------------------------------------------------ *)
+(* Lint rules: one positive fixture each                               *)
+(* ------------------------------------------------------------------ *)
+
+let rules_of ds = List.map (fun d -> d.Diag.rule) ds |> List.sort_uniq compare
+
+let lint src = Lint.run (compile src)
+
+let find_rule code ds =
+  match List.find_opt (fun d -> d.Diag.rule = code) ds with
+  | Some d -> d
+  | None ->
+    Alcotest.failf "expected a %s finding, got [%s]" code
+      (String.concat "; " (rules_of ds))
+
+let test_alf001_unsound_unchecked () =
+  let ds =
+    lint
+      {|MODULE M;
+        VAR base, cache : INTEGER;
+        VAR w : W;
+        TYPE W = OBJECT
+        METHODS
+          (*MAINTAINED*) total() : INTEGER := Total;
+          (*MAINTAINED*) probe() : INTEGER := ProbeIt;
+        END;
+        PROCEDURE Peek() : INTEGER = BEGIN RETURN cache END Peek;
+        PROCEDURE Total(s : W) : INTEGER =
+        VAR t : INTEGER;
+        BEGIN t := base * 2; cache := t; RETURN t END Total;
+        PROCEDURE ProbeIt(s : W) : INTEGER =
+        BEGIN RETURN (*UNCHECKED*) Peek() END ProbeIt;
+        BEGIN
+          w := NEW(W);
+          base := 10;
+          Print(w.total(), " ", w.probe(), "\n")
+        END M.|}
+  in
+  let d = find_rule "ALF001" ds in
+  checkb "warning severity" true (d.Diag.severity = Diag.Warning);
+  checkb "anchored at the UNCHECKED expr" true (d.Diag.pos.Lang.Ast.line = 14);
+  checkb "names the pruned global" true
+    (contains "cache" d.Diag.message)
+
+let test_alf002_self_invalidation () =
+  let ds =
+    lint
+      {|MODULE M;
+        VAR acc : INTEGER;
+        VAR w : W;
+        TYPE W = OBJECT METHODS (*MAINTAINED*) bump() : INTEGER := Bump; END;
+        PROCEDURE Bump(s : W) : INTEGER =
+        BEGIN acc := acc + 1; RETURN acc END Bump;
+        BEGIN
+          w := NEW(W);
+          acc := 0;
+          Print(w.bump(), "\n")
+        END M.|}
+  in
+  let d = find_rule "ALF002" ds in
+  checkb "names Bump" true (contains "Bump" d.Diag.message)
+
+let test_alf003_identity_cycle () =
+  let ds =
+    lint
+      {|MODULE M;
+        VAR g : INTEGER;
+        (*CACHED*) PROCEDURE Ping(n : INTEGER) : INTEGER =
+        BEGIN RETURN Pong(n) END Ping;
+        (*CACHED*) PROCEDURE Pong(n : INTEGER) : INTEGER =
+        BEGIN RETURN Ping(n) END Pong;
+        BEGIN
+          g := 1;
+          Print(Ping(g), "\n")
+        END M.|}
+  in
+  let d = find_rule "ALF003" ds in
+  checkb "error severity" true (d.Diag.severity = Diag.Error);
+  (* both edges of the 2-cycle are reported *)
+  checki "two cycle edges" 2
+    (List.length (List.filter (fun d -> d.Diag.rule = "ALF003") ds))
+
+let test_alf003_changing_args_ok () =
+  (* ordinary shrinking recursion (Fib-style) must NOT be flagged *)
+  let ds = lint Lang.Samples.fib_cached in
+  checkb "no ALF003 on fib" false (List.mem "ALF003" (rules_of ds))
+
+let test_alf004_unreachable () =
+  let ds =
+    lint
+      {|MODULE M;
+        VAR g : INTEGER;
+        (*CACHED*) PROCEDURE Dead(n : INTEGER) : INTEGER =
+        BEGIN RETURN n + g END Dead;
+        BEGIN
+          g := 1;
+          Print(g, "\n")
+        END M.|}
+  in
+  let d = find_rule "ALF004" ds in
+  checkb "names Dead" true
+    (contains "Dead" d.Diag.message);
+  checkb "anchored at the declaration" true (d.Diag.pos.Lang.Ast.line = 3)
+
+let test_alf005_dead_dependency () =
+  let ds = lint Lang.Samples.unchecked_lookup in
+  let infos = List.filter (fun d -> d.Diag.rule = "ALF005") ds in
+  checki "p1 and p3 are dead dependencies" 2 (List.length infos);
+  List.iter
+    (fun d -> checkb "info severity" true (d.Diag.severity = Diag.Info))
+    infos
+
+let test_alf006_pruned_write () =
+  let ds =
+    lint
+      {|MODULE M;
+        VAR a, b : INTEGER;
+        VAR w : W;
+        TYPE W = OBJECT METHODS (*MAINTAINED*) go() : INTEGER := Go; END;
+        PROCEDURE Sneak() : INTEGER = BEGIN a := a + 1; RETURN a END Sneak;
+        PROCEDURE Go(s : W) : INTEGER =
+        VAR t : INTEGER;
+        BEGIN
+          t := (*UNCHECKED*) Sneak();
+          RETURN a + b
+        END Go;
+        BEGIN
+          w := NEW(W);
+          a := 1; b := 2;
+          Print(w.go(), "\n")
+        END M.|}
+  in
+  let d = find_rule "ALF006" ds in
+  checkb "names the written global" true
+    (contains "global:a" d.Diag.message)
+
+let test_samples_clean () =
+  List.iter
+    (fun (name, src) ->
+      let bad =
+        List.filter
+          (fun d -> Diag.severity_rank d.Diag.severity > 0)
+          (lint src)
+      in
+      checki (name ^ " has no warnings/errors") 0 (List.length bad))
+    Lang.Samples.all
+
+(* ------------------------------------------------------------------ *)
+(* Call graph: identity-call classification and reachability           *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity_classification () =
+  let env =
+    compile
+      {|MODULE M;
+        VAR g : INTEGER;
+        PROCEDURE F(n, m : INTEGER) : INTEGER =
+        BEGIN
+          IF n = 0 THEN RETURN m END;
+          IF n = 1 THEN RETURN F(n, m) END;
+          IF n = 2 THEN RETURN F(m, n) END;
+          RETURN F(n - 1, m)
+        END F;
+        BEGIN
+          g := 3;
+          Print(F(g, 1), "\n")
+        END M.|}
+  in
+  let sites = Cg.call_sites env in
+  let f_sites =
+    List.filter (fun (cs : Cg.call_site) -> cs.Cg.cs_caller = "F") sites
+  in
+  checki "three recursive sites" 3 (List.length f_sites);
+  let identities =
+    List.map (fun (cs : Cg.call_site) -> cs.Cg.cs_identity) f_sites
+  in
+  (* F(n, m) is identity; F(m, n) swaps; F(n - 1, m) changes an arg *)
+  checks "identity flags" "true false false"
+    (String.concat " " (List.map string_of_bool identities))
+
+let test_reachability () =
+  let env = compile effects_src in
+  let callees = Cg.callees env in
+  let from_main = Cg.reachable callees [ Cg.main_name ] in
+  List.iter
+    (fun p -> checkb (p ^ " reachable from main") true (Hashtbl.mem from_main p))
+    [ "Top"; "Mid"; "Leaf" ];
+  let from_mid = Cg.reachable callees [ "Mid" ] in
+  checkb "Top not reachable from Mid" false (Hashtbl.mem from_mid "Top");
+  checkb "Leaf reachable from Mid" true (Hashtbl.mem from_mid "Leaf")
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "effects",
+        [
+          Alcotest.test_case "direct sets" `Quick test_direct_effects;
+          Alcotest.test_case "transitive summaries" `Quick
+            test_summary_effects;
+          Alcotest.test_case "dispatch targets" `Quick test_dispatch_effects;
+          Alcotest.test_case "recursive fixpoint" `Quick
+            test_fixpoint_recursion;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "ALF001 unsound UNCHECKED" `Quick
+            test_alf001_unsound_unchecked;
+          Alcotest.test_case "ALF002 self-invalidation" `Quick
+            test_alf002_self_invalidation;
+          Alcotest.test_case "ALF003 identity cycle" `Quick
+            test_alf003_identity_cycle;
+          Alcotest.test_case "ALF003 spares real recursion" `Quick
+            test_alf003_changing_args_ok;
+          Alcotest.test_case "ALF004 unreachable" `Quick
+            test_alf004_unreachable;
+          Alcotest.test_case "ALF005 dead dependency" `Quick
+            test_alf005_dead_dependency;
+          Alcotest.test_case "ALF006 pruned write" `Quick
+            test_alf006_pruned_write;
+          Alcotest.test_case "samples are clean" `Quick test_samples_clean;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "identity call sites" `Quick
+            test_identity_classification;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+        ] );
+    ]

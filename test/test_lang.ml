@@ -116,6 +116,104 @@ let test_parse_errors () =
   checkb "expression statement" true (bad "MODULE M; BEGIN 1 + 2 END M.");
   checkb "unclosed if" true (bad "MODULE M; BEGIN IF TRUE THEN END M.")
 
+(* The pretty-printer as a tree transformation: parse ∘ pp must be the
+   identity on the AST modulo positions (the textual-fixpoint test above
+   would also pass for a printer that, say, reassociated operators). *)
+
+let list_eq eq a b = List.length a = List.length b && List.for_all2 eq a b
+
+let rec expr_eq (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.desc, b.Ast.desc) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Text x, Text y -> x = y
+  | Nil, Nil -> true
+  | Var x, Var y -> x = y
+  | Field (e1, f1), Field (e2, f2) -> f1 = f2 && expr_eq e1 e2
+  | Index (b1, i1), Index (b2, i2) -> expr_eq b1 b2 && expr_eq i1 i2
+  | Call (c1, a1), Call (c2, a2) -> callee_eq c1 c2 && list_eq expr_eq a1 a2
+  | New c1, New c2 -> c1 = c2
+  | Binop (o1, x1, y1), Binop (o2, x2, y2) ->
+    o1 = o2 && expr_eq x1 x2 && expr_eq y1 y2
+  | Unop (o1, x1), Unop (o2, x2) -> o1 = o2 && expr_eq x1 x2
+  | Unchecked x, Unchecked y -> expr_eq x y
+  | _ -> false
+
+and callee_eq a b =
+  match (a, b) with
+  | Ast.Cproc p, Ast.Cproc q -> p = q
+  | Ast.Cmethod (o1, m1), Ast.Cmethod (o2, m2) -> m1 = m2 && expr_eq o1 o2
+  | _ -> false
+
+let rec stmt_eq (a : Ast.stmt) (b : Ast.stmt) =
+  match (a.Ast.sdesc, b.Ast.sdesc) with
+  | Assign (d1, e1), Assign (d2, e2) -> expr_eq d1 d2 && expr_eq e1 e2
+  | Call_stmt e1, Call_stmt e2 -> expr_eq e1 e2
+  | If (b1, e1), If (b2, e2) ->
+    list_eq
+      (fun (c1, s1) (c2, s2) -> expr_eq c1 c2 && stmts_eq s1 s2)
+      b1 b2
+    && stmts_eq e1 e2
+  | While (c1, s1), While (c2, s2) -> expr_eq c1 c2 && stmts_eq s1 s2
+  | Repeat (s1, c1), Repeat (s2, c2) -> stmts_eq s1 s2 && expr_eq c1 c2
+  | For (v1, a1, b1', s1), For (v2, a2, b2', s2) ->
+    v1 = v2 && expr_eq a1 a2 && expr_eq b1' b2' && stmts_eq s1 s2
+  | Return e1, Return e2 -> Option.equal expr_eq e1 e2
+  | _ -> false
+
+and stmts_eq a b = list_eq stmt_eq a b
+
+let field_eq (a : Ast.field_decl) (b : Ast.field_decl) =
+  a.Ast.fname = b.Ast.fname && a.Ast.fty = b.Ast.fty
+
+let method_eq (a : Ast.method_decl) (b : Ast.method_decl) =
+  a.Ast.mname = b.Ast.mname && a.Ast.mparams = b.Ast.mparams
+  && a.Ast.mret = b.Ast.mret && a.Ast.mimpl = b.Ast.mimpl
+  && a.Ast.mpragma = b.Ast.mpragma
+
+let override_eq (a : Ast.override_decl) (b : Ast.override_decl) =
+  a.Ast.oname = b.Ast.oname && a.Ast.oimpl = b.Ast.oimpl
+  && a.Ast.opragma = b.Ast.opragma
+
+let type_eq (a : Ast.type_decl) (b : Ast.type_decl) =
+  a.Ast.tname = b.Ast.tname && a.Ast.super = b.Ast.super
+  && list_eq field_eq a.Ast.fields b.Ast.fields
+  && list_eq method_eq a.Ast.methods b.Ast.methods
+  && list_eq override_eq a.Ast.overrides b.Ast.overrides
+
+let local_eq (a : Ast.local_decl) (b : Ast.local_decl) =
+  a.Ast.lname = b.Ast.lname && a.Ast.lty = b.Ast.lty
+  && Option.equal expr_eq a.Ast.linit b.Ast.linit
+
+let proc_eq (a : Ast.proc_decl) (b : Ast.proc_decl) =
+  a.Ast.pname = b.Ast.pname && a.Ast.params = b.Ast.params
+  && a.Ast.ret = b.Ast.ret
+  && list_eq local_eq a.Ast.locals b.Ast.locals
+  && stmts_eq a.Ast.body b.Ast.body
+  && a.Ast.ppragma = b.Ast.ppragma
+
+let global_eq (a : Ast.global_decl) (b : Ast.global_decl) =
+  a.Ast.gname = b.Ast.gname && a.Ast.gty = b.Ast.gty
+  && Option.equal expr_eq a.Ast.ginit b.Ast.ginit
+
+let module_eq (a : Ast.module_) (b : Ast.module_) =
+  a.Ast.modname = b.Ast.modname
+  && list_eq type_eq a.Ast.types b.Ast.types
+  && list_eq global_eq a.Ast.globals b.Ast.globals
+  && list_eq proc_eq a.Ast.procs b.Ast.procs
+  && stmts_eq a.Ast.main b.Ast.main
+
+let test_roundtrip_ast_identity () =
+  List.iter
+    (fun (name, src) ->
+      let m = parse_ok src in
+      let m2 = parse_ok (Pretty.to_string m) in
+      checkb
+        (Fmt.str "sample %s: parse ∘ pp is the identity modulo positions"
+           name)
+        true (module_eq m m2))
+    Samples.all
+
 (* ------------------------------------------------------------------ *)
 (* Type checker                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -182,6 +280,46 @@ let test_tc_rejections () =
   checkb "nil arithmetic" true
     (has_error "expected INTEGER" "MODULE M; VAR x : INTEGER; BEGIN x := NIL \
                                    + 1 END M.")
+
+(* A corpus of ill-typed programs: the checker must reject each AND
+   anchor its first error at the expected line:col. *)
+let test_tc_error_positions () =
+  let first_error_pos what src =
+    match Tc.check (parse_ok src) with
+    | Ok _ -> Alcotest.failf "%s: expected a type error" what
+    | Error [] -> Alcotest.failf "%s: empty error list" what
+    | Error (e :: _) -> (e.Tc.epos.Ast.line, e.Tc.epos.Ast.col)
+  in
+  List.iter
+    (fun (what, src, expected) ->
+      Alcotest.(check (pair int int)) what expected (first_error_pos what src))
+    [
+      ( "unknown variable",
+        "MODULE M;\nBEGIN\n  x := 1\nEND M.",
+        (3, 3) );
+      ( "boolean into integer",
+        "MODULE M;\nVAR x : INTEGER;\nBEGIN\n  x := TRUE\nEND M.",
+        (4, 3) );
+      ( "unknown field",
+        "MODULE M;\nTYPE T = OBJECT x : INTEGER; END;\nVAR t : T;\nBEGIN\n\
+        \  t.ghost := 1\nEND M.",
+        (5, 4) );
+      ( "non-boolean condition",
+        "MODULE M;\nBEGIN\n  IF 1 THEN END\nEND M.",
+        (3, 6) );
+      ( "cached proper procedure",
+        "MODULE M;\n(*CACHED*) PROCEDURE P(n : INTEGER) =\nBEGIN\nEND P;\n\
+         BEGIN END M.",
+        (2, 22) );
+      ( "return type mismatch",
+        "MODULE M;\nPROCEDURE P() : INTEGER =\nBEGIN\n  RETURN TRUE\nEND P;\n\
+         BEGIN END M.",
+        (4, 3) );
+      ( "method bound to unknown procedure",
+        "MODULE M;\nTYPE T = OBJECT METHODS m() : INTEGER := Ghost; END;\n\
+         BEGIN END M.",
+        (2, 6) );
+    ]
 
 let test_tc_subtyping () =
   let src =
@@ -404,12 +542,15 @@ let () =
         [
           Alcotest.test_case "samples parse" `Quick test_parse_samples;
           Alcotest.test_case "pretty roundtrip" `Quick test_roundtrip_samples;
+          Alcotest.test_case "roundtrip is AST identity" `Quick
+            test_roundtrip_ast_identity;
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
       ( "typecheck",
         [
           Alcotest.test_case "accepts samples" `Quick test_tc_accepts_samples;
           Alcotest.test_case "rejections" `Quick test_tc_rejections;
+          Alcotest.test_case "error positions" `Quick test_tc_error_positions;
           Alcotest.test_case "subtyping" `Quick test_tc_subtyping;
           Alcotest.test_case "method impls" `Quick test_tc_method_impl_checks;
           Alcotest.test_case "arrays" `Quick test_tc_arrays;

@@ -155,6 +155,67 @@ let test_analysis_call_sites () =
   checki "tracked calls" 4 s.Analysis.tracked_calls;
   checkb "untracked reads exist (locals)" true (s.Analysis.untracked_reads > 0)
 
+(* Dynamic-dispatch resolution over an override chain A <- B <- C: a
+   static receiver sees every implementation in its subtree, pragma-less
+   overrides inherit the overridden method's pragma, and mi_pos is the
+   METHODS/OVERRIDES entry that bound the implementation. *)
+let test_dispatch_override_chain () =
+  let env =
+    compile
+      {|MODULE M;
+        VAR g : INTEGER;
+        TYPE A = OBJECT
+          x : INTEGER;
+        METHODS
+          v() : INTEGER := VA;
+          plain() : INTEGER := PA;
+        END;
+        TYPE B = A OBJECT
+        OVERRIDES
+          (*MAINTAINED*) v := VB;
+        END;
+        TYPE C = B OBJECT
+        OVERRIDES
+          v := VC;
+        END;
+        VAR it : A;
+        PROCEDURE VA(s : A) : INTEGER = BEGIN RETURN s.x END VA;
+        PROCEDURE VB(s : A) : INTEGER = BEGIN RETURN s.x + g END VB;
+        PROCEDURE VC(s : A) : INTEGER = BEGIN RETURN s.x * 2 END VC;
+        PROCEDURE PA(s : A) : INTEGER = BEGIN RETURN 0 END PA;
+        BEGIN
+          it := NEW(C);
+          it.x := 1;
+          g := 2;
+          Print(it.v(), " ", it.plain(), "\n")
+        END M.|}
+  in
+  let impls cls m =
+    Analysis.dispatch_targets env cls m
+    |> List.map (fun (mi : Tc.method_info) -> mi.Tc.mi_impl)
+    |> List.sort compare |> String.concat " "
+  in
+  checks "A.v sees the whole chain" "VA VB VC" (impls "A" "v");
+  checks "B.v sees B and C" "VB VC" (impls "B" "v");
+  checks "C.v sees only C" "VC" (impls "C" "v");
+  checks "plain has one impl everywhere" "PA" (impls "C" "plain");
+  (* pragma inheritance through the chain *)
+  let mi_c = Option.get (Tc.lookup_method env "C" "v") in
+  checkb "C.v inherits B's MAINTAINED" true (mi_c.Tc.mi_pragma <> None);
+  checkb "C.v is bound at its OVERRIDES entry" true
+    (mi_c.Tc.mi_pos.Lang.Ast.line = 15);
+  let mi_a = Option.get (Tc.lookup_method env "A" "v") in
+  checkb "A.v itself has no pragma" true (mi_a.Tc.mi_pragma = None);
+  checkb "A.v is bound at its METHODS entry" true
+    (mi_a.Tc.mi_pos.Lang.Ast.line = 6);
+  (* a call through the static A receiver may reach incremental code *)
+  checkb "A.v may be incremental" true
+    (Analysis.method_may_be_incremental env "A" "v");
+  checkb "C.v may be incremental" true
+    (Analysis.method_may_be_incremental env "C" "v");
+  checkb "plain never incremental" false
+    (Analysis.method_may_be_incremental env "A" "plain")
+
 let test_connectivity_components () =
   let src =
     {|MODULE M;
@@ -259,6 +320,8 @@ let () =
           Alcotest.test_case "tracked sets" `Quick test_analysis_tracked_sets;
           Alcotest.test_case "reachability" `Quick test_analysis_reachability;
           Alcotest.test_case "call sites" `Quick test_analysis_call_sites;
+          Alcotest.test_case "dispatch over override chains" `Quick
+            test_dispatch_override_chain;
           Alcotest.test_case "connectivity" `Quick
             test_connectivity_components;
         ] );
