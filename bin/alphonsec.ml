@@ -12,7 +12,9 @@
      profile    run under telemetry: per-instance profile, hot-node DOT,
                 provenance queries (--why), Chrome trace export
      graph      dump the dependency graph of a run as DOT
-     samples    list or dump the built-in sample programs *)
+     samples    list or dump the built-in sample programs
+     sheet      run a durable spreadsheet edit script (WAL + snapshots)
+     recover    recover a durable state directory and report *)
 
 module P = Lang.Parser
 module Tc = Lang.Typecheck
@@ -554,6 +556,148 @@ let samples_cmd =
     (Cmd.info "samples" ~doc:"List or dump the built-in sample programs")
     Term.(const run $ name_arg)
 
+(* ---------------- durable spreadsheet session ---------------- *)
+
+module Durable = Alphonse.Durable
+module Wal = Alphonse.Wal
+module Sheet = Spreadsheet.Sheet
+
+let state_arg =
+  let doc =
+    "Durable state directory: journal every edit there and (unless \
+     $(b,--no-restore)) recover from it first."
+  in
+  Arg.(value & opt (some string) None & info [ "state" ] ~docv:"DIR" ~doc)
+
+let wal_arg =
+  let doc = "Journal fsync policy: 'always', 'commit' or 'never'." in
+  let policy =
+    Arg.enum
+      [ ("always", Wal.Always); ("commit", Wal.Commit); ("never", Wal.Never) ]
+  in
+  Arg.(value & opt policy Wal.Commit & info [ "wal" ] ~docv:"POLICY" ~doc)
+
+(* one-token / rest-of-line split for the tiny script language *)
+let split1 s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    ( String.sub s 0 i,
+      String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let sheet_cmd =
+  let run script state policy checkpoint_end kill_at no_restore =
+    let text =
+      match script with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | p -> In_channel.with_open_text p In_channel.input_all
+    in
+    let sheet = Sheet.create () in
+    let eng = Sheet.engine sheet in
+    let p = Sheet.persist sheet in
+    let session =
+      match state with
+      | None -> None
+      | Some dir ->
+        if not no_restore then begin
+          let o = Durable.recover ~dir eng p in
+          Fmt.epr "[%a]@." Durable.pp_outcome o
+        end;
+        let s = Durable.attach ~policy ~dir eng p in
+        Sheet.set_journal sheet (Some (Durable.journal_op s));
+        (match kill_at with
+        | Some n ->
+          let hook, _ = Alphonse.Faults.kill_nth n in
+          Durable.set_kill_hook s (Some hook)
+        | None -> ());
+        Some s
+    in
+    let do_checkpoint () =
+      match session with
+      | Some s ->
+        Fmt.epr "[checkpoint: %s]@." (Filename.basename (Durable.checkpoint s))
+      | None -> Fmt.epr "[checkpoint ignored: no --state]@."
+    in
+    let exec lineno line =
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        let cmd, rest = split1 line in
+        match cmd with
+        | "set" ->
+          let cell, raw = split1 rest in
+          Sheet.set sheet cell raw
+        | "get" -> Fmt.pr "%s = %a@." rest Sheet.pp_value (Sheet.value_at sheet rest)
+        | "render" -> print_string (Sheet.render sheet)
+        | "checkpoint" -> do_checkpoint ()
+        | c -> Fmt.failwith "line %d: unknown command %s" (lineno + 1) c
+    in
+    let code =
+      try
+        List.iteri exec (String.split_on_char '\n' text);
+        if checkpoint_end then do_checkpoint ();
+        0
+      with
+      | Alphonse.Faults.Killed site ->
+        Fmt.epr "[killed at %s]@." site;
+        3
+      | Failure msg ->
+        Fmt.epr "%s@." msg;
+        1
+    in
+    Option.iter Durable.detach session;
+    code
+  in
+  let script_arg =
+    let doc =
+      "Edit script: one command per line — $(b,set A1 =A2+1), $(b,get A1), \
+       $(b,render), $(b,checkpoint); '#' comments. '-' for stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc)
+  in
+  let checkpoint_arg =
+    let doc = "Write a snapshot checkpoint after the script completes." in
+    Arg.(value & flag & info [ "checkpoint" ] ~doc)
+  in
+  let kill_arg =
+    let doc =
+      "Crash simulation: die (exit 3) at the $(docv)-th durability kill \
+       site the session reaches. Recover with $(b,alphonsec recover)."
+    in
+    Arg.(value & opt (some int) None & info [ "kill-at" ] ~docv:"N" ~doc)
+  in
+  let no_restore_arg =
+    let doc = "Do not recover from --state before running." in
+    Arg.(value & flag & info [ "no-restore" ] ~doc)
+  in
+  let doc = "Run a durable spreadsheet edit script (journal + snapshots)" in
+  Cmd.v
+    (Cmd.info "sheet" ~doc)
+    Term.(
+      const run $ script_arg $ state_arg $ wal_arg $ checkpoint_arg $ kill_arg
+      $ no_restore_arg)
+
+let recover_cmd =
+  let run dir render =
+    let sheet = Sheet.create () in
+    let o = Durable.recover ~dir (Sheet.engine sheet) (Sheet.persist sheet) in
+    Fmt.pr "%a@." Durable.pp_outcome o;
+    if render then print_string (Sheet.render sheet);
+    0
+  in
+  let dir_arg =
+    let doc = "Durable state directory to recover from." in
+    Arg.(
+      required & opt (some string) None & info [ "state" ] ~docv:"DIR" ~doc)
+  in
+  let render_arg =
+    let doc = "Render the recovered sheet after recovery." in
+    Arg.(value & flag & info [ "render" ] ~doc)
+  in
+  let doc = "Recover a durable spreadsheet state directory and report" in
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ dir_arg $ render_arg)
+
 let () =
   let doc = "the Alphonse incremental-computation transformation system" in
   let info = Cmd.info "alphonsec" ~version:"1.0.0" ~doc in
@@ -563,4 +707,5 @@ let () =
           [
             check_cmd; print_cmd; transform_cmd; analyze_cmd; lint_cmd;
             run_cmd; compare_cmd; profile_cmd; graph_cmd; samples_cmd;
+            sheet_cmd; recover_cmd;
           ]))

@@ -32,4 +32,6 @@ module Telemetry = Telemetry
 module Audit = Audit
 module Faults = Faults
 module Json = Json
+module Wal = Wal
+module Durable = Durable
 module Htbl = Htbl

@@ -100,6 +100,16 @@ type stats = {
   audits : int;
 }
 
+(* Durability journal hooks (the write-ahead layer, [Durable], installs
+   one): [on_write] fires for every *changed* tracked write, before the
+   engine mutation (the inconsistency mark) it announces; [on_txn]
+   fires at transaction boundaries — [`Commit] only after the batch and
+   its settle succeeded, [`Abort] after rollback completed. *)
+type journal = {
+  on_write : name:string -> id:int -> unit;
+  on_txn : [ `Begin | `Commit | `Abort ] -> unit;
+}
+
 type t = {
   graph : payload G.t;
   heap_leq : nd -> nd -> bool;
@@ -126,6 +136,7 @@ type t = {
   mutable fault_hook : (string -> unit) option;
   mutable fault_mask : bool; (* true = injection suppressed (repair paths) *)
   mutable self_audit : bool;
+  mutable journal : journal option;
   (* counters *)
   mutable c_executions : int;
   mutable c_first : int;
@@ -177,6 +188,7 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     txn = None;
     fault_hook = None;
     fault_mask = false;
+    journal = None;
     self_audit;
     c_executions = 0;
     c_first = 0;
@@ -247,6 +259,16 @@ let masked t f =
 
 let set_self_audit t b = t.self_audit <- b
 let self_audit t = t.self_audit
+
+let set_journal t j = t.journal <- j
+let journal t = t.journal
+
+let jwrite t node =
+  match t.journal with
+  | None -> ()
+  | Some j -> j.on_write ~name:(G.payload node).name ~id:(G.id node)
+
+let jtxn t ev = match t.journal with None -> () | Some j -> j.on_txn ev
 
 let in_transaction t = t.txn <> None
 
@@ -396,16 +418,32 @@ let record_read t node = record_dependency t node
 let record_write t node ~changed =
   match record_dependency t node with
   | () -> (
-    if changed then
+    if changed then begin
+      (* Write-ahead: the journal entry for this write is appended
+         before the engine mutation (the inconsistency mark). If
+         journaling itself raises — a disk fault, a simulated kill —
+         the mark is still performed under [masked] so in-memory state
+         stays coherent before the failure surfaces; the journal then
+         merely under-reports, which recovery's verified replay treats
+         as a (safe) verification miss, never a wrong value. *)
+      (match jwrite t node with
+      | () -> ()
+      | exception e ->
+        masked t (fun () -> mark_inconsistent t node);
+        raise e);
       try mark_inconsistent t node
       with e ->
         (* the typed cell already holds the new value: losing the mark
            would leave dependents permanently stale, so redo it with
            injection suppressed before surfacing the fault *)
         masked t (fun () -> mark_inconsistent t node);
-        raise e)
+        raise e
+    end)
   | exception e ->
-    if changed then masked t (fun () -> mark_inconsistent t node);
+    if changed then begin
+      (try jwrite t node with _ -> ());
+      masked t (fun () -> mark_inconsistent t node)
+    end;
     raise e
 
 let dirty p =
@@ -988,11 +1026,23 @@ let transact t f =
   let tx = { undos = []; tmarked = []; ran = [] } in
   t.txn <- Some tx;
   emit t (fun () -> Telemetry.Txn_begin);
+  (match jtxn t `Begin with
+  | () -> ()
+  | exception e ->
+    (* nothing ran yet: no writes to undo, just leave the transaction *)
+    t.txn <- None;
+    raise e);
   match
     let v = f () in
     (* the batch settle is inside the transaction: if propagation fails,
        the writes roll back with it *)
     stabilize t;
+    (* the commit marker is the durability point: journaled only after
+       every write and the batch settle succeeded, and before the
+       caller learns the batch committed. If appending it fails, the
+       batch rolls back below — so the journal never claims a commit
+       the in-memory state abandoned, and vice versa. *)
+    jtxn t `Commit;
     v
   with
   | v ->
@@ -1001,6 +1051,8 @@ let transact t f =
     v
   | exception e ->
     rollback_txn t tx;
+    (* advisory: replay drops uncommitted groups anyway *)
+    (try jtxn t `Abort with _ -> ());
     raise e
 
 (* ------------------------------------------------------------------ *)
@@ -1059,6 +1111,11 @@ let on_call t node =
        about to read. *)
     record_dependency t node
 
+(* Clearing poison also resets [failures] to 0: the operator has
+   (presumably) fixed the environment, so the instance gets a full
+   fresh retry budget — it must take [max_retries] *new* failures, not
+   one, to poison again. The regression test in test/test_faults.ml
+   pins this down. *)
 let clear_poison t node =
   match (G.payload node).kind with
   | Instance inst ->
@@ -1150,3 +1207,186 @@ let node_dirty node = dirty (G.payload node)
 
 let iter_node_succ f node = G.iter_succ f node
 let iter_node_pred f node = G.iter_pred f node
+
+(* ------------------------------------------------------------------ *)
+(* Export / import of logical engine state (durability)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* What can and cannot persist: instance bodies are closures over typed
+   caches, so values and [recompute] functions are NOT serializable —
+   a restore is structurally a cold rebuild (the domain layer recreates
+   vars and funcs; values recompute on demand, which is conservatively
+   correct). [export] therefore captures the *logical* state: per-node
+   name/kind/dirty/consistency/failure bookkeeping, quarantine
+   membership, the discovered edge set (as diagnostic evidence — see
+   [import]), and the counters. Node names are the stable identities
+   that [import] matches on. *)
+
+let num n = Json.Num (float_of_int n)
+
+let export t =
+  let nodes =
+    List.filter (fun n -> not (G.payload n).discarded) t.all_nodes
+    |> List.sort (fun a b -> compare (G.id a) (G.id b))
+  in
+  let node_json n =
+    let p = G.payload n in
+    let base =
+      [ ("id", num (G.id n)); ("name", Json.Str p.name);
+        ("queued", Json.Bool p.queued) ]
+    in
+    match p.kind with
+    | Storage -> Json.Obj (("kind", Json.Str "storage") :: base)
+    | Instance inst ->
+      Json.Obj
+        (("kind", Json.Str "instance")
+        :: base
+        @ [
+            ("consistent", Json.Bool inst.consistent);
+            ("ever_ran", Json.Bool inst.ever_ran);
+            ("failures", num inst.failures);
+            ( "poison",
+              match inst.poison with
+              | None -> Json.Null
+              | Some e -> Json.Str (Printexc.to_string e) );
+            ("quarantined", Json.Bool (List.memq n t.quarantined));
+          ])
+  in
+  let edges =
+    List.concat_map
+      (fun n ->
+        let acc = ref [] in
+        G.iter_succ
+          (fun dst ->
+            if not (G.payload dst).discarded then
+              acc := Json.Arr [ num (G.id n); num (G.id dst) ] :: !acc)
+          n;
+        List.rev !acc)
+      nodes
+  in
+  let s = stats t in
+  Json.Obj
+    [
+      ("schema", Json.Str "alphonse-engine/1");
+      ("nodes", Json.Arr (List.map node_json nodes));
+      ("edges", Json.Arr edges);
+      ( "stats",
+        Json.Obj
+          [
+            ("executions", num s.executions);
+            ("first_executions", num s.first_executions);
+            ("cache_hits", num s.cache_hits);
+            ("settle_steps", num s.settle_steps);
+            ("queue_pushes", num s.queue_pushes);
+            ("unions", num s.unions);
+            ("out_of_order_edges", num s.out_of_order_edges);
+            ("order_fixups", num s.order_fixups);
+            ("evictions", num s.evictions);
+            ("failures", num s.failures);
+            ("retries", num s.retries);
+            ("poisonings", num s.poisonings);
+            ("rollbacks", num s.rollbacks);
+            ("degradations", num s.degradations);
+            ("audits", num s.audits);
+          ] );
+    ]
+
+(* Best-effort restore of exported logical state onto a live engine
+   whose domain structure has already been rebuilt. Matching is by
+   stable node name; anything unmatched (a node not yet re-demanded —
+   storage appears on first tracked access, instances on first call)
+   is reported as a warning, not an error. Edges are deliberately NOT
+   installed: dependencies are re-discovered by re-execution, and
+   splicing them in without the cached values they justified would
+   fake consistency the caches cannot back. Restored per matched node:
+   dirty marks (re-queued), failure counts, poison (as [Failure] of
+   the recorded message) and quarantine membership; counters resume
+   from the snapshot so stats stay continuous across restarts. *)
+let import t j =
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  (match Json.member "schema" j with
+  | Some (Json.Str "alphonse-engine/1") -> ()
+  | _ -> warn "unrecognized engine snapshot schema");
+  let by_name : (string, nd) Hashtbl.t = Hashtbl.create 64 in
+  let ambiguous : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  iter_nodes t (fun n ->
+      let name = (G.payload n).name in
+      if Hashtbl.mem by_name name then begin
+        Hashtbl.remove by_name name;
+        Hashtbl.replace ambiguous name ()
+      end
+      else if not (Hashtbl.mem ambiguous name) then
+        Hashtbl.replace by_name name n);
+  let matched = ref 0 and missing = ref 0 in
+  let str j = Json.to_str j in
+  let restore_node nj =
+    match Option.bind (Json.member "name" nj) str with
+    | None -> warn "snapshot node without a name"
+    | Some name -> (
+      let flag key =
+        match Json.member key nj with Some (Json.Bool b) -> b | _ -> false
+      in
+      let int_field key =
+        match Option.bind (Json.member key nj) Json.to_float with
+        | Some f -> int_of_float f
+        | None -> 0
+      in
+      match Hashtbl.find_opt by_name name with
+      | None ->
+        if Hashtbl.mem ambiguous name then
+          warn "ambiguous live name %S: not restored" name
+        else begin
+          incr missing;
+          if !missing <= 5 then warn "no live node named %S" name
+        end
+      | Some n -> (
+        incr matched;
+        let p = G.payload n in
+        match p.kind with
+        | Storage -> if flag "queued" then masked t (fun () -> mark_inconsistent t n)
+        | Instance inst ->
+          inst.failures <- int_field "failures";
+          (match Option.bind (Json.member "poison" nj) str with
+          | Some msg ->
+            (* poisoned stays parked (not re-queued): only clear_poison
+               readmits it to settlement, same as before the crash *)
+            inst.poison <- Some (Failure ("[restored] " ^ msg));
+            inst.consistent <- false
+          | None ->
+            if flag "quarantined" && not (List.memq n t.quarantined) then
+              t.quarantined <- n :: t.quarantined;
+            if flag "queued" || not (flag "consistent") then begin
+              inst.consistent <- false;
+              masked t (fun () -> mark_inconsistent t n)
+            end)))
+  in
+  (match Option.bind (Json.member "nodes" j) Json.to_list with
+  | Some nodes -> List.iter restore_node nodes
+  | None -> warn "snapshot has no node table");
+  if !missing > 5 then
+    warn "(%d more snapshot nodes without live counterparts)" (!missing - 5);
+  (match Json.member "stats" j with
+  | Some stats_j ->
+    let get key =
+      match Option.bind (Json.member key stats_j) Json.to_float with
+      | Some f -> int_of_float f
+      | None -> 0
+    in
+    t.c_executions <- get "executions";
+    t.c_first <- get "first_executions";
+    t.c_hits <- get "cache_hits";
+    t.c_steps <- get "settle_steps";
+    t.c_pushes <- get "queue_pushes";
+    t.c_unions <- get "unions";
+    t.c_ooo <- get "out_of_order_edges";
+    t.c_fixups <- get "order_fixups";
+    t.c_evictions <- get "evictions";
+    t.c_failures <- get "failures";
+    t.c_retries <- get "retries";
+    t.c_poisonings <- get "poisonings";
+    t.c_rollbacks <- get "rollbacks";
+    t.c_degradations <- get "degradations";
+    t.c_audits <- get "audits"
+  | None -> warn "snapshot has no stats");
+  (!matched, List.rev !warnings)

@@ -252,8 +252,12 @@ val failure_count : t -> node -> int
 (** Consecutive failed executions of the instance (0 after a success). *)
 
 val clear_poison : t -> node -> unit
-(** Resets the instance's failure count and poison and re-marks it
-    inconsistent, so the next call or settle retries it. *)
+(** Resets the instance's failure count {e and} poison and re-marks it
+    inconsistent, so the next call or settle retries it. The failure
+    count resets to 0 deliberately: clearing poison asserts the
+    environment was fixed, so the instance gets a full fresh retry
+    budget — it takes [max_retries] {e new} consecutive failures (with
+    a quarantine pass through each) to poison it again, not one. *)
 
 val degrade_to_exhaustive : t -> unit
 (** Abandons incrementality for the pending work: clears every
@@ -297,6 +301,55 @@ val set_fault_hook : t -> (string -> unit) option -> unit
     machinery — see {!Faults} for deterministic injectors. *)
 
 val fault_hook : t -> (string -> unit) option
+
+(** {1 Durability hooks (engine half of {!Durable})} *)
+
+type journal = {
+  on_write : name:string -> id:int -> unit;
+      (** Fires for every {e changed} tracked write, {e before} the
+          engine mutation (the inconsistency mark) it announces — the
+          write-ahead discipline. If it raises, the mark is still
+          performed (masked) so in-memory state stays coherent; the
+          journal then under-reports, which recovery treats as a safe
+          verification miss. *)
+  on_txn : [ `Begin | `Commit | `Abort ] -> unit;
+      (** Transaction boundaries. [`Commit] fires only after the batch
+          and its settle succeeded and before the caller learns the
+          batch committed; if appending the commit marker raises, the
+          batch rolls back. [`Abort] (after rollback) is advisory —
+          replay drops uncommitted groups regardless. *)
+}
+
+val set_journal : t -> journal option -> unit
+(** Installs (or clears) the durability journal hooks. One journal per
+    engine; {!Durable.attach} manages it. *)
+
+val journal : t -> journal option
+
+val export : t -> Json.t
+(** The engine's {e logical} state as JSON: per-node
+    name/kind/dirty/consistency/failure bookkeeping, quarantine and
+    poison, the discovered edge list, and the {!stats} counters.
+    Instance bodies are closures over typed caches, so cached values
+    and [recompute] functions are {e not} serializable — a restore is
+    structurally a cold rebuild and values recompute on demand (which
+    is conservatively correct). Node names are the stable identities
+    {!import} matches on; give every {!Func.create} used with
+    durability a [pp_key] so its instances get distinct names. *)
+
+val import : t -> Json.t -> int * string list
+(** [import t j] restores exported logical state onto a live engine
+    whose domain structure has already been rebuilt (by the domain's
+    [Persistable] load). Matching is by stable node name, best-effort:
+    unmatched or ambiguous names produce warnings, not errors — a node
+    not yet re-demanded simply has nothing to restore onto. Restored
+    per match: dirty marks (re-queued), failure counts, poison (as
+    [Failure] of the recorded message; the instance stays parked until
+    {!clear_poison}) and quarantine membership; the counters resume
+    from the snapshot. Edges are deliberately NOT installed:
+    dependencies are re-discovered by execution, and splicing them in
+    without the cached values they justified would fake a consistency
+    the caches cannot back. Returns (matched node count, warnings). *)
 
 val unchecked : t -> (unit -> 'a) -> 'a
 (** [unchecked t f] runs [f] with dependency recording suppressed for the

@@ -7,8 +7,49 @@
    from a seed. *)
 
 exception Injected of string
+exception Killed of string
 
 let sites = Engine.fault_sites
+
+(* ------------------------------------------------------------------ *)
+(* Engine-independent kill hooks                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The durability layer ([Wal], [Durable]) hosts its own crash sites —
+   mid-frame, pre-fsync, pre-rename — through a plain [string -> unit]
+   hook, so the combinators below build hooks without touching an
+   engine. A raised [Killed] models the process dying at that byte
+   offset: the test harness abandons the in-memory state entirely and
+   recovers from disk, like a restarted process would. *)
+
+let kill_nth ?only n =
+  if n < 1 then invalid_arg "Faults.kill_nth";
+  let seen = ref 0 in
+  let fired = ref false in
+  let hook site =
+    if (not !fired) && (match only with None -> true | Some s -> s = site)
+    then begin
+      incr seen;
+      if !seen = n then begin
+        fired := true;
+        raise (Killed site)
+      end
+    end
+  in
+  (hook, fired)
+
+let counting_hook () =
+  let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let hook site =
+    match Hashtbl.find_opt tbl site with
+    | Some r -> incr r
+    | None -> Hashtbl.replace tbl site (ref 1)
+  in
+  let read () =
+    Hashtbl.fold (fun site r acc -> (site, !r) :: acc) tbl []
+    |> List.sort compare
+  in
+  (hook, read)
 
 let clear eng = Engine.set_fault_hook eng None
 

@@ -11,8 +11,26 @@
 exception Injected of string
 (** The injected fault; the payload is the engine site it fired at. *)
 
+exception Killed of string
+(** A simulated process death, raised by hooks built with {!kill_nth}.
+    Unlike {!Injected} (an in-process fault the engine recovers from),
+    [Killed] means the harness abandons all in-memory state and
+    recovers from disk — the payload is the durability site it fired
+    at ({!Wal.kill_sites}, {!Durable.kill_sites}). *)
+
 val sites : string list
 (** = {!Engine.fault_sites}. *)
+
+val kill_nth : ?only:string -> int -> (string -> unit) * bool ref
+(** [kill_nth ?only n] builds a one-shot hook raising {!Killed} at the
+    [n]-th poke (1-based; restricted to site [only] when given),
+    engine-independent so the durability layer can host it. The
+    returned flag reports whether it fired. *)
+
+val counting_hook : unit -> (string -> unit) * (unit -> (string * int) list)
+(** [counting_hook ()] builds a never-raising hook that counts pokes
+    per site, plus a function reading the counts (sorted by site).
+    The engine-independent counterpart of {!count}. *)
 
 val clear : Engine.t -> unit
 (** Removes any installed hook. *)

@@ -46,6 +46,18 @@ type event =
       (* settle-step watchdog tripped: degraded to exhaustive mode *)
   | Audit_run of { ok : bool; errors : int }
   | Fault_injected of { site : string }
+  (* durability *)
+  | Wal_rotated of { segment : int }
+  | Snapshot_written of { file : string; bytes : int; nodes : int }
+  | Recovery_started of { dir : string }
+  | Recovery_finished of {
+      snapshot : bool; (* a valid snapshot was used (vs full replay) *)
+      replayed : int; (* journal entries applied *)
+      dropped : int; (* entries lost to a torn/corrupt tail *)
+      discarded_txns : int; (* uncommitted transaction groups dropped *)
+      verified : bool; (* replayed write intents matched the journal *)
+      degraded : bool; (* degrade_to_exhaustive was taken *)
+    }
 
 type record = { seq : int; at : float; ev : event }
 (* [at] is seconds since the recorder was created ([Unix.gettimeofday]
@@ -141,6 +153,15 @@ let pp_event ppf = function
     if ok then Fmt.string ppf "audit ok"
     else Fmt.pf ppf "audit FAILED (%d error(s))" errors
   | Fault_injected { site } -> Fmt.pf ppf "fault injected at %s" site
+  | Wal_rotated { segment } -> Fmt.pf ppf "wal rotated to segment %d" segment
+  | Snapshot_written { file; bytes; nodes } ->
+    Fmt.pf ppf "snapshot written %s (%d bytes, %d nodes)" file bytes nodes
+  | Recovery_started { dir } -> Fmt.pf ppf "recovery started (%s)" dir
+  | Recovery_finished { snapshot; replayed; dropped; discarded_txns; verified; degraded } ->
+    Fmt.pf ppf
+      "recovery finished (snapshot=%b replayed=%d dropped=%d \
+       discarded-txns=%d verified=%b degraded=%b)"
+      snapshot replayed dropped discarded_txns verified degraded
 
 let pp_record ppf r = Fmt.pf ppf "[%06d %.6fs] %a" r.seq r.at pp_event r.ev
 
@@ -249,6 +270,29 @@ let trace_records records =
         [ ("ok", Json.Bool ok); ("errors", Json.Num (float_of_int errors)) ]
     | Fault_injected { site } ->
       instant "fault" "fault" [ ("site", Json.Str site) ]
+    | Wal_rotated { segment } ->
+      instant "wal-rotate" "durable"
+        [ ("segment", Json.Num (float_of_int segment)) ]
+    | Snapshot_written { file; bytes; nodes } ->
+      instant "snapshot" "durable"
+        [
+          ("file", Json.Str file);
+          ("bytes", Json.Num (float_of_int bytes));
+          ("nodes", Json.Num (float_of_int nodes));
+        ]
+    | Recovery_started { dir } ->
+      instant "recovery-start" "durable" [ ("dir", Json.Str dir) ]
+    | Recovery_finished
+        { snapshot; replayed; dropped; discarded_txns; verified; degraded } ->
+      instant "recovery-end" "durable"
+        [
+          ("snapshot", Json.Bool snapshot);
+          ("replayed", Json.Num (float_of_int replayed));
+          ("dropped", Json.Num (float_of_int dropped));
+          ("discarded_txns", Json.Num (float_of_int discarded_txns));
+          ("verified", Json.Bool verified);
+          ("degraded", Json.Bool degraded);
+        ]
   in
   (* A truncated ring can start mid-execution: drop unmatched E events
      (and close unmatched Bs) so the trace stays well nested. *)

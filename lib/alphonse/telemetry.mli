@@ -57,6 +57,19 @@ type event =
   | Audit_run of { ok : bool; errors : int }
   | Fault_injected of { site : string }
       (** the installed fault hook raised at this engine site *)
+  | Wal_rotated of { segment : int }
+      (** the write-ahead journal opened a new segment *)
+  | Snapshot_written of { file : string; bytes : int; nodes : int }
+      (** a {!Durable} checkpoint wrote a snapshot file *)
+  | Recovery_started of { dir : string }
+  | Recovery_finished of {
+      snapshot : bool;  (** a valid snapshot was used (vs full replay) *)
+      replayed : int;  (** journal entries applied *)
+      dropped : int;  (** entries lost to a torn/corrupt tail *)
+      discarded_txns : int;  (** uncommitted transaction groups dropped *)
+      verified : bool;  (** replayed write intents matched the journal *)
+      degraded : bool;  (** recovery took [degrade_to_exhaustive] *)
+    }
 
 type record = { seq : int; at : float; ev : event }
 (** [seq] numbers all events ever emitted; [at] is seconds since the

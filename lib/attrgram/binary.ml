@@ -169,3 +169,110 @@ let bit_leaves n =
   let acc = ref [] in
   A.iter (fun m -> if A.prod m = "bit" then acc := m :: !acc) n;
   List.rev !acc
+
+(** Render a numeral back to its [of_string] form (["1101.01"]). *)
+let to_string n =
+  let rec bits acc l =
+    match A.prod l with
+    | "one_bit" -> i_of (A.terminal (A.child l 0) "b") :: acc
+    | "cons" -> bits (i_of (A.terminal (A.child l 1) "b") :: acc) (A.child l 0)
+    | p -> Fmt.invalid_arg "Binary.to_string: %s" p
+  in
+  let lstr l =
+    bits [] l |> List.map string_of_int |> String.concat ""
+  in
+  match A.children n with
+  | [ l ] -> lstr l
+  | [ l1; l2 ] -> lstr l1 ^ "." ^ lstr l2
+  | _ -> invalid_arg "Binary.to_string: num arity"
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Alphonse.Json
+
+(* A [doc] pins one numeral as "the document": the root holder durable
+   snapshots serialize, plus the write-ahead hook its edits go
+   through. *)
+type doc = {
+  bt : t;
+  mutable droot : value A.node option;
+  mutable djournal : (Json.t -> unit) option;
+}
+
+let doc t = { bt = t; droot = None; djournal = None }
+let doc_set_journal d j = d.djournal <- j
+
+let doc_root d =
+  match d.droot with
+  | Some r -> r
+  | None -> invalid_arg "Binary.doc_root: empty document"
+
+let doc_jop d op extra =
+  match d.djournal with
+  | None -> ()
+  | Some j -> j (Json.Obj (("op", Json.Str op) :: extra))
+
+(* non-journaling primitives, shared by the live edits and replay.
+   Installing also warms the attributes: evaluation materializes the
+   numeral's dependency nodes (Algorithm 3), keeping live runs and
+   replays symmetric for [Engine.import] and intent verification. *)
+let doc_install d s =
+  let root = of_string d.bt s in
+  d.droot <- Some root;
+  ignore (value_of d.bt root)
+
+let doc_put_bit d i v =
+  if v <> 0 && v <> 1 then invalid_arg "Binary.doc_set_bit: bit must be 0 or 1";
+  match List.nth_opt (bit_leaves (doc_root d)) i with
+  | Some leaf -> A.set_terminal leaf "b" (I v)
+  | None -> invalid_arg "Binary.doc_set_bit: bit index out of range"
+
+let doc_init d s =
+  doc_jop d "init" [ ("s", Json.Str s) ];
+  doc_install d s
+
+let doc_set_bit d i v =
+  doc_jop d "bit"
+    [ ("i", Json.Num (float_of_int i)); ("v", Json.Num (float_of_int v)) ];
+  doc_put_bit d i v
+
+let doc_value d = value_of d.bt (doc_root d)
+let doc_exhaustive d = exhaustive_value (doc_root d)
+let doc_render d = match d.droot with None -> "" | Some n -> to_string n
+
+let persist_doc d =
+  let save () =
+    Json.Obj
+      [
+        ("schema", Json.Str "alphonse-binary/1");
+        ( "num",
+          match d.droot with
+          | None -> Json.Null
+          | Some n -> Json.Str (to_string n) );
+      ]
+  in
+  let load j =
+    match Json.member "num" j with
+    | Some (Json.Str s) -> doc_install d s
+    | Some Json.Null | None -> ()
+    | Some _ -> invalid_arg "Binary.persist_doc: bad numeral"
+  in
+  let apply j =
+    let num key =
+      match Option.bind (Json.member key j) Json.to_float with
+      | Some f -> int_of_float f
+      | None -> Fmt.invalid_arg "Binary.persist_doc: journal op without %s" key
+    in
+    match Option.bind (Json.member "op" j) Json.to_str with
+    | Some "init" -> (
+      match Option.bind (Json.member "s" j) Json.to_str with
+      | Some s -> doc_install d s
+      | None -> invalid_arg "Binary.persist_doc: init without source")
+    | Some "bit" -> doc_put_bit d (num "i") (num "v")
+    | _ ->
+      Fmt.invalid_arg "Binary.persist_doc: unrecognized journal op %s"
+        (Json.to_string j)
+  in
+  { Alphonse.Durable.p_save = save; p_load = load; p_apply = apply }

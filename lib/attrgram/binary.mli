@@ -46,3 +46,49 @@ val flip : value Ag.node -> unit
 
 val bit_leaves : value Ag.node -> value Ag.node list
 (** All bit leaves, left to right. *)
+
+val to_string : value Ag.node -> string
+(** Render a numeral back to its {!of_string} form (["1101.01"]). *)
+
+(** {1 Durability}
+
+    A {!doc} pins one numeral as "the document" so the grammar instance
+    has serializable state: the snapshot records the rendered numeral,
+    and edits route through a journaling hook. *)
+
+type doc
+
+val doc : t -> doc
+(** An empty document over the grammar instance. *)
+
+val doc_set_journal : doc -> (Alphonse.Json.t -> unit) option
+  -> unit
+(** Installs the write-ahead hook; {!doc_init} and {!doc_set_bit}
+    announce themselves to it before mutating. Wire it to
+    [Durable.journal_op]. *)
+
+val doc_init : doc -> string -> unit
+(** (Re)build the document's numeral from text (journaled as
+    [{"op":"init","s":text}]). *)
+
+val doc_root : doc -> value Ag.node
+(** @raise Invalid_argument on an empty document. *)
+
+val doc_set_bit : doc -> int -> int -> unit
+(** [doc_set_bit d i v] sets the [i]-th bit leaf (left to right, 0-based,
+    fraction bits included) to [v] ∈ {0,1} — journaled as
+    [{"op":"bit","i":i,"v":v}]. *)
+
+val doc_value : doc -> float
+(** Incremental value of the document's numeral. *)
+
+val doc_exhaustive : doc -> float
+(** From-scratch oracle over the same tree. *)
+
+val doc_render : doc -> string
+(** {!to_string} of the root, [""] when empty. *)
+
+val persist_doc : doc -> Alphonse.Durable.persistable
+(** Durability hooks: save records the rendered numeral, load rebuilds
+    it, apply replays one journaled [init]/[bit] op. Load and apply
+    never journal. *)

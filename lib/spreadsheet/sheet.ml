@@ -69,6 +69,9 @@ type t = {
   mutable value_fn : (int * int, value) Func.t option;
       (** always [Some] after {!create}; option only ties the recursive
           knot between the function and the sheet record *)
+  mutable journal : (Alphonse.Json.t -> unit) option;
+      (** durability hook: every edit is announced here (write-ahead)
+          before the tracked write applies — see {!persist} *)
 }
 
 let engine t = t.eng
@@ -174,7 +177,7 @@ let cell_at t (c, r) =
 
 let create ?strategy ?partitioning () =
   let eng = Engine.create ?default_strategy:strategy ?partitioning () in
-  let t = { eng; cells = Hashtbl.create 64; value_fn = None } in
+  let t = { eng; cells = Hashtbl.create 64; value_fn = None; journal = None } in
   (* the CellExp operation: read another cell's maintained value,
      converting a detected dependency cycle into an error value *)
   let read_cell coord =
@@ -185,7 +188,9 @@ let create ?strategy ?partitioning () =
   in
   t.value_fn <-
     Some
-      (Func.create eng ~name:"cell-value" (fun _self coord ->
+      (Func.create eng ~name:"cell-value"
+         ~pp_key:(fun coord -> F.name_of_cell coord)
+         (fun _self coord ->
            match Var.get (cell_at t coord).content with
            | Blank -> Empty
            | Const x -> Num x
@@ -197,36 +202,67 @@ let create ?strategy ?partitioning () =
 (* Editing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The raw-input form of a content — what a user would have typed to
+   produce it. [%.17g] guarantees constants round-trip bit-exactly
+   through [parse_input], so journaled/snapshotted cells reload to the
+   same floats. *)
+let raw_of_content = function
+  | Blank -> ""
+  | Const x ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.17g" x
+  | Formula (_, src) -> "=" ^ src
+  | Invalid (raw, _) -> raw
+
+let parse_input input =
+  if input = "" then Blank
+  else if String.length input > 0 && input.[0] = '=' then
+    let src = String.sub input 1 (String.length input - 1) in
+    match F.parse src with
+    | Ok e -> Formula (e, src)
+    | Error msg -> Invalid (input, msg)
+  else
+    match float_of_string_opt (String.trim input) with
+    | Some x -> Const x
+    | None -> Invalid (input, "not a number or formula")
+
+(* Every edit funnels through here: journal the raw input (write-ahead),
+   then perform the tracked write. *)
+let put t coord ~raw content =
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+    j
+      (Alphonse.Json.Obj
+         [
+           ("op", Alphonse.Json.Str "cell");
+           ("at", Alphonse.Json.Str (F.name_of_cell coord));
+           ("v", Alphonse.Json.Str raw);
+         ]));
+  Var.set (cell_at t coord).content content
+
+let set_journal t j = t.journal <- j
+
 (** Set a cell from raw user input: [""] clears, ["=…"] is a formula,
     anything numeric is a constant. Non-numeric non-formula input is
     reported as a parse error value (this sheet has no text type). *)
-let set_raw t coord input =
-  let cell = cell_at t coord in
-  let content =
-    if input = "" then Blank
-    else if String.length input > 0 && input.[0] = '=' then
-      let src = String.sub input 1 (String.length input - 1) in
-      match F.parse src with
-      | Ok e -> Formula (e, src)
-      | Error msg -> Invalid (input, msg)
-    else
-      match float_of_string_opt (String.trim input) with
-      | Some x -> Const x
-      | None -> Invalid (input, "not a number or formula")
-  in
-  Var.set cell.content content
+let set_raw t coord input = put t coord ~raw:input (parse_input input)
 
 let set t name input =
   match F.parse name with
   | Ok (F.Cell (c, r)) -> set_raw t (c, r) input
   | _ -> Fmt.invalid_arg "Sheet.set: bad cell name %s" name
 
-let set_const t coord x = Var.set (cell_at t coord).content (Const x)
+let set_const t coord x =
+  let content = Const x in
+  put t coord ~raw:(raw_of_content content) content
 
 let set_formula t coord expr =
-  Var.set (cell_at t coord).content (Formula (expr, F.to_string expr))
+  let content = Formula (expr, F.to_string expr) in
+  put t coord ~raw:(raw_of_content content) content
 
-let clear t coord = Var.set (cell_at t coord).content Blank
+let clear t coord = put t coord ~raw:"" Blank
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -330,3 +366,70 @@ let exhaustive_value t coord =
         | Formula (e, _) -> eval_with (cell_value (coord :: seen)) e)
   in
   cell_value [] coord
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Alphonse.Json
+
+let coord_of_name name =
+  match F.parse name with
+  | Ok (F.Cell (c, r)) -> (c, r)
+  | _ -> Fmt.invalid_arg "Sheet.persist: bad cell name %s" name
+
+(* [p_load]/[p_apply] bypass {!put}: loading and replaying must never
+   re-journal (the engine-side write intents during replay are captured
+   separately by [Durable.recover] for verification). *)
+let restore_cell t name raw =
+  Var.set (cell_at t (coord_of_name name)).content (parse_input raw)
+
+let persist t =
+  let save () =
+    let cells =
+      Hashtbl.fold
+        (fun coord cell acc ->
+          match Var.get cell.content with
+          | Blank -> acc (* blanks re-materialize on demand *)
+          | content -> (coord, raw_of_content content) :: acc)
+        t.cells []
+      |> List.sort compare
+    in
+    Json.Obj
+      [
+        ("schema", Json.Str "alphonse-sheet/1");
+        ( "cells",
+          Json.Arr
+            (List.map
+               (fun (coord, raw) ->
+                 Json.Arr [ Json.Str (F.name_of_cell coord); Json.Str raw ])
+               cells) );
+      ]
+  in
+  let load j =
+    match Option.bind (Json.member "cells" j) Json.to_list with
+    | None -> invalid_arg "Sheet.persist: snapshot has no cell table"
+    | Some cells ->
+      List.iter
+        (function
+          | Json.Arr [ Json.Str name; Json.Str raw ] -> restore_cell t name raw
+          | _ -> invalid_arg "Sheet.persist: bad cell entry")
+        cells;
+      (* warm the restored sheet: dependency nodes materialize on the
+         first tracked access (Algorithm 3), and both [Engine.import]
+         (matching exported state by stable name) and replay
+         verification (capturing write intents) need them live *)
+      ignore (recalc_all t)
+  in
+  let apply j =
+    match
+      ( Option.bind (Json.member "op" j) Json.to_str,
+        Option.bind (Json.member "at" j) Json.to_str,
+        Option.bind (Json.member "v" j) Json.to_str )
+    with
+    | Some "cell", Some name, Some raw -> restore_cell t name raw
+    | _ ->
+      Fmt.invalid_arg "Sheet.persist: unrecognized journal op %s"
+        (Json.to_string j)
+  in
+  { Alphonse.Durable.p_save = save; p_load = load; p_apply = apply }

@@ -87,3 +87,17 @@ val render : t -> string
 val exhaustive_value : t -> int * int -> value
 (** From-scratch evaluation with no caching, cycles detected with a
     visited set — the conventional execution of the sheet program. *)
+
+(** {1 Durability} *)
+
+val set_journal : t -> (Alphonse.Json.t -> unit) option -> unit
+(** Installs the write-ahead hook: every edit ({!set}, {!set_raw},
+    {!set_const}, {!set_formula}, {!clear}) is announced to it as
+    [{"op":"cell","at":name,"v":raw}] {e before} the tracked write
+    applies. Wire it to [Durable.journal_op]. *)
+
+val persist : t -> Alphonse.Durable.persistable
+(** The sheet's durability hooks: save serializes all non-blank cells
+    (sorted, raw-input form — constants round-trip bit-exactly), load
+    rebuilds them in a fresh sheet, apply replays one journaled edit.
+    Load and apply never journal. *)

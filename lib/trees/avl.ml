@@ -20,6 +20,9 @@ type avl = {
   forest : Itree.t;
   root : tree Var.t;
   balance_fn : (tree, tree) Func.t;
+  mutable journal : (Alphonse.Json.t -> unit) option;
+      (* durability hook: every mutator entry point ([insert], [delete],
+         [rebalance]) is journaled here before it runs — see {!persist} *)
 }
 
 (* The two rotations of Algorithm 11, performed as tracked writes. Each
@@ -110,15 +113,26 @@ let create ?strategy eng =
     forest;
     root = Var.create eng ~equal:tree_equal ~name:"avl.root" Nil;
     balance_fn;
+    journal = None;
   }
 
 let engine t = Itree.engine t.forest
+
+let set_journal t j = t.journal <- j
+
+module Json = Alphonse.Json
+
+let jop t op extra =
+  match t.journal with
+  | None -> ()
+  | Some j -> j (Json.Obj (("op", Json.Str op) :: extra))
 
 (* ------------------------------------------------------------------ *)
 (* Plain BST mutators (exactly the unbalanced algorithms, §7.3)        *)
 (* ------------------------------------------------------------------ *)
 
 let insert t k =
+  jop t "insert" [ ("k", Json.Num (float_of_int k)) ];
   let rec go tree =
     match tree with
     | Nil -> Itree.node t.forest k
@@ -143,6 +157,7 @@ let rec extract_min = function
       (m, Node n))
 
 let delete t k =
+  jop t "delete" [ ("k", Json.Num (float_of_int k)) ];
   let rec go tree =
     match tree with
     | Nil -> Nil
@@ -175,7 +190,9 @@ let delete t k =
 
 (** Re-establish the AVL property. Incremental: only the balance/height
     instances on paths disturbed since the last call re-execute. *)
-let rebalance t = Var.set t.root (Func.call t.balance_fn (Var.get t.root))
+let rebalance t =
+  jop t "rebalance" [];
+  Var.set t.root (Func.call t.balance_fn (Var.get t.root))
 
 (** Membership after rebalancing: the O(log n) search of §7.3. *)
 let mem t k =
@@ -224,3 +241,70 @@ let is_ordered tree =
       go (Some n.key) (Var.get n.right)
   in
   match go None tree with _ -> true | exception Exit -> false
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The snapshot records the exact tree {e shape} (not just the key set):
+   replay determinism depends on it — a journaled [rebalance] must find
+   the same imbalances the original run saw, so the restored tree must
+   be node-for-node identical, unbalanced parts included. Node ids are
+   allocation-order artifacts and are not persisted; [p_load] allocates
+   fresh nodes. *)
+let persist t =
+  let rec save_tree = function
+    | Nil -> Json.Null
+    | Node n ->
+      Json.Obj
+        [
+          ("k", Json.Num (float_of_int n.key));
+          ("l", save_tree (Var.get n.left));
+          ("r", save_tree (Var.get n.right));
+        ]
+  in
+  let save () =
+    Json.Obj
+      [
+        ("schema", Json.Str "alphonse-avl/1");
+        ("root", save_tree (Var.get t.root));
+      ]
+  in
+  let rec load_tree = function
+    | Json.Null -> Nil
+    | j -> (
+      match
+        ( Option.bind (Json.member "k" j) Json.to_float,
+          Json.member "l" j,
+          Json.member "r" j )
+      with
+      | Some k, Some l, Some r ->
+        Itree.node t.forest ~left:(load_tree l) ~right:(load_tree r)
+          (int_of_float k)
+      | _ -> invalid_arg "Avl.persist: bad tree node")
+  in
+  let load j =
+    match Json.member "root" j with
+    | Some root ->
+      Var.set t.root (load_tree root);
+      (* warm the restored tree: height instances materialize the
+         structure's dependency nodes, which [Engine.import] and replay
+         verification match by stable name *)
+      ignore (height t)
+    | None -> invalid_arg "Avl.persist: snapshot has no root"
+  in
+  let apply j =
+    let key () =
+      match Option.bind (Json.member "k" j) Json.to_float with
+      | Some k -> int_of_float k
+      | None -> invalid_arg "Avl.persist: journal op without a key"
+    in
+    match Option.bind (Json.member "op" j) Json.to_str with
+    | Some "insert" -> insert t (key ())
+    | Some "delete" -> delete t (key ())
+    | Some "rebalance" -> rebalance t
+    | _ ->
+      Fmt.invalid_arg "Avl.persist: unrecognized journal op %s"
+        (Json.to_string j)
+  in
+  { Alphonse.Durable.p_save = save; p_load = load; p_apply = apply }

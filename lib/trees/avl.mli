@@ -58,3 +58,18 @@ val is_balanced : Itree.tree -> bool
 
 val is_ordered : Itree.tree -> bool
 (** BST invariant: in-order keys strictly increase. *)
+
+(** {1 Durability} *)
+
+val set_journal : avl -> (Alphonse.Json.t -> unit) option -> unit
+(** Installs the write-ahead hook: {!insert}, {!delete} and
+    {!rebalance} (also the one inside {!mem}) are announced to it as
+    [{"op":…}] entries before they run. Wire it to
+    [Durable.journal_op]. *)
+
+val persist : avl -> Alphonse.Durable.persistable
+(** Durability hooks: save records the exact tree shape (replay
+    determinism needs the same imbalances the original run saw, so
+    unbalanced parts are preserved node-for-node), load rebuilds it
+    with fresh nodes, apply replays one journaled mutation. Load and
+    apply never journal. *)

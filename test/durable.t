@@ -1,0 +1,94 @@
+The durable spreadsheet session: write-ahead journal, checkpoints, and
+crash recovery through the CLI.
+
+  $ alphonsec() { ../bin/alphonsec.exe "$@"; }
+
+A session without --state is purely in-memory:
+
+  $ cat > edits.txt <<'EOF'
+  > set A1 6
+  > set A2 =A1*7
+  > get A2
+  > EOF
+  $ alphonsec sheet edits.txt
+  A2 = 42
+
+With --state, every edit is journaled before it applies; a later run
+recovers the state and continues:
+
+  $ alphonsec sheet edits.txt --state st 2>/dev/null
+  A2 = 42
+  $ cat > more.txt <<'EOF'
+  > set A1 10
+  > get A2
+  > render
+  > EOF
+  $ alphonsec sheet more.txt --state st
+  [recovery: snapshot=none replayed=2 discarded=0 txns-discarded=0 verified=yes degraded=no]
+  A2 = 70
+    | A 
+  1 | 10
+  2 | 70
+
+recover reports the outcome and can render the restored sheet:
+
+  $ alphonsec recover --state st --render
+  recovery: snapshot=none replayed=3 discarded=0 txns-discarded=0 verified=yes degraded=no
+    | A 
+  1 | 10
+  2 | 70
+
+A checkpoint cuts the journal into a checksummed snapshot; recovery then
+restores from it instead of replaying history:
+
+  $ alphonsec sheet /dev/null --state st --checkpoint
+  [recovery: snapshot=none replayed=3 discarded=0 txns-discarded=0 verified=yes degraded=no]
+  [checkpoint: snap-00000003.json]
+  $ alphonsec recover --state st
+  recovery: snapshot=snap-00000003.json replayed=0 discarded=0 txns-discarded=0 verified=yes degraded=no
+
+A simulated crash (--kill-at dies at the N-th durability kill site)
+exits with code 3 and leaves a recoverable directory — the journal's
+torn tail is dropped, never misread:
+
+  $ cat > crash.txt <<'EOF'
+  > set A1 1
+  > set A2 =A1+1
+  > set A1 5
+  > EOF
+  $ alphonsec sheet crash.txt --state crashed --no-restore
+  $ alphonsec sheet crash.txt --state killed --no-restore --kill-at 4
+  [killed at wal-append]
+  [3]
+  $ alphonsec recover --state killed
+  recovery: snapshot=none replayed=1 discarded=0 txns-discarded=0 verified=yes degraded=no
+
+Re-running the same (idempotent) script after recovery converges to the
+clean run's state:
+
+  $ alphonsec sheet crash.txt --state killed 2>/dev/null
+  $ alphonsec recover --state killed --render 2>/dev/null
+  recovery: snapshot=none replayed=4 discarded=0 txns-discarded=0 verified=yes degraded=no
+    | A
+  1 | 5
+  2 | 6
+  $ alphonsec recover --state crashed --render 2>/dev/null | tail -n +2
+    | A
+  1 | 5
+  2 | 6
+
+checkpoint is also a script command, and the checkpoint survives a
+later crash:
+
+  $ cat > ckpt.txt <<'EOF'
+  > set B1 3
+  > checkpoint
+  > set B2 =B1*B1
+  > EOF
+  $ alphonsec sheet ckpt.txt --state ck --no-restore 2>&1
+  [checkpoint: snap-00000001.json]
+  $ alphonsec recover --state ck --render
+  recovery: snapshot=snap-00000001.json replayed=1 discarded=0 txns-discarded=0 verified=yes degraded=no
+    | A | B
+  1 |   | 3
+  2 |   | 9

@@ -244,6 +244,43 @@ let test_quarantine_then_poison () =
   checki "still incremental" 10 (Func.call f ());
   check_audit "recovered" eng
 
+(* clear_poison grants a FULL fresh retry budget (it zeroes
+   failure_count by design): a still-broken instance re-enters the
+   quarantine → poison lifecycle from the top, failing max_retries
+   times again before re-poisoning, instead of being instantly
+   re-poisoned by its stale count. *)
+let test_clear_poison_requarantines () =
+  let eng = Engine.create ~max_retries:2 () in
+  let boom = ref true in
+  let f =
+    Func.create eng ~name:"f" (fun _ () ->
+        if !boom then failwith "boom";
+        1)
+  in
+  let fail_once () =
+    match Func.call f () with
+    | _ -> Alcotest.fail "expected raise"
+    | exception Failure _ -> ()
+  in
+  fail_once ();
+  fail_once ();
+  let n = node_of f () in
+  checkb "poisoned" true (Engine.poisoned eng n);
+  Engine.clear_poison eng n;
+  checki "budget reset by clear_poison" 0 (Engine.failure_count eng n);
+  (* still broken: the first fresh failure re-quarantines — it must NOT
+     re-poison off the pre-clear count *)
+  fail_once ();
+  checki "one fresh failure" 1 (Engine.failure_count eng n);
+  checkb "re-quarantined" true (List.memq n (Engine.quarantined eng));
+  checkb "not yet re-poisoned" false (Engine.poisoned eng n);
+  fail_once ();
+  checkb "re-poisoned only after a full budget" true (Engine.poisoned eng n);
+  boom := false;
+  Engine.clear_poison eng n;
+  checki "recovers" 1 (Func.call f ());
+  check_audit "after a re-poison cycle" eng
+
 let test_poison_propagates_without_charge () =
   let eng = Engine.create ~max_retries:1 () in
   let broken = ref true in
@@ -655,6 +692,8 @@ let () =
         [
           Alcotest.test_case "retry then poison" `Quick
             test_quarantine_then_poison;
+          Alcotest.test_case "clear_poison re-quarantines with a fresh budget"
+            `Quick test_clear_poison_requarantines;
           Alcotest.test_case "poison propagates without charge" `Quick
             test_poison_propagates_without_charge;
           Alcotest.test_case "stabilize is total and retries" `Quick

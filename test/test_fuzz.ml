@@ -345,6 +345,87 @@ let prop_order_list_with_deletes =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* JSON printer/parser round trip                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The durability layer trusts [Json.of_string (Json.to_string j) = j]
+   for every value it frames into the journal or checksums into a
+   snapshot — so the generator leans on the nasty cases: control
+   characters and quotes in strings (escaping), integer edges, deep
+   nesting, empty containers. Numbers are restricted to values the
+   float-based printer represents exactly; the printer maps non-finite
+   numbers to [null] by design, so they are generated as [Null]. *)
+let json_gen =
+  let open QCheck.Gen in
+  let module J = Alphonse.Json in
+  let str_gen =
+    let char_gen =
+      frequency
+        [
+          (6, char_range 'a' 'z');
+          (2, oneofl [ '"'; '\\'; '/'; '\n'; '\t'; '\r'; '\b'; '\012' ]);
+          (1, map Char.chr (int_range 0 31));
+          (1, map Char.chr (int_range 32 126));
+        ]
+    in
+    string_size ~gen:char_gen (int_bound 12)
+  in
+  let num_gen =
+    frequency
+      [
+        (3, map float_of_int (int_range (-1000) 1000));
+        (1,
+         oneofl
+           [
+             0.; -0.; 1.5; -3.25; 1e-3; 1e10; 4503599627370496.;
+             (* 2^52: the float-exact integer edge *)
+             -4503599627370496.; infinity; neg_infinity; nan;
+           ]);
+      ]
+  in
+  (* non-finite numbers print as null; generate what survives a trip *)
+  let num_gen =
+    map (fun x -> if Float.is_finite x then J.Num x else J.Null) num_gen
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        frequency
+          [
+            (1, return J.Null);
+            (1, map (fun b -> J.Bool b) bool);
+            (2, num_gen);
+            (2, map (fun s -> J.Str s) str_gen);
+          ]
+      else
+        frequency
+          [
+            (2, map (fun s -> J.Str s) str_gen);
+            (1, num_gen);
+            (2,
+             map (fun l -> J.Arr l) (list_size (int_bound 4) (self (depth - 1))));
+            (2,
+             map
+               (fun l -> J.Obj l)
+               (list_size (int_bound 4)
+                  (pair str_gen (self (depth - 1)))));
+          ])
+    4
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json: print/parse round trip" ~count:500
+    (QCheck.make
+       ~print:(fun j -> Alphonse.Json.to_string j)
+       json_gen)
+    (fun j ->
+      let module J = Alphonse.Json in
+      match J.of_string (J.to_string j) with
+      | j' -> j' = j && J.to_string j' = J.to_string j
+      | exception J.Parse_error e ->
+        QCheck.Test.fail_reportf "parse back failed: %s on %s" e
+          (J.to_string j))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -355,4 +436,5 @@ let () =
           [ prop_expr_oracle; prop_module_roundtrip; prop_schedule_theorem_5_1 ]
       );
       ("substrate", qsuite [ prop_htbl_oracle; prop_order_list_with_deletes ]);
+      ("json", qsuite [ prop_json_roundtrip ]);
     ]

@@ -75,4 +75,24 @@ let () =
             rows)
         tables)
     exps;
+  (* the suite must not silently shrink: these experiments are load-
+     bearing (E16/E17 the robustness results, E18 the durability
+     overheads) and a refactor that drops one from the output would
+     otherwise pass every shape check above *)
+  let names =
+    List.filter_map (fun e -> Option.bind (member "name" e) to_str) exps
+  in
+  let required = [ "E16"; "E17"; "E18" ] in
+  let missing =
+    List.filter
+      (fun r ->
+        not
+          (List.exists
+             (fun n -> String.length n >= 3 && String.sub n 0 3 = r)
+             names))
+      required
+  in
+  if missing <> [] then
+    fail "%s: required experiment(s) missing: %s" file
+      (String.concat ", " missing);
   Printf.printf "%s OK: %d experiment(s)\n" file (List.length exps)
