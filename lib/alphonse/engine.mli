@@ -66,6 +66,16 @@ type scheduling =
       (** creation priorities plus Pearce–Kelly restoration on every
           order-violating edge, keeping the drain order topological *)
   | Fifo  (** no priorities: first marked, first processed *)
+  | Parallel of { domains : int }
+      (** level-synchronized parallel settling on [domains] concurrent
+          lanes (the caller's domain counts, so [domains = 1] spawns no
+          worker and serializes). Each settle round executes one level
+          front — the queued nodes at minimal longest-path depth over
+          the affected subgraph, which are mutually independent — on a
+          reusable OCaml 5 domain pool; workers buffer their engine
+          mutations and a per-level merge barrier applies them in lane
+          order, keeping propagation deterministic. See
+          {!settle_parallel}. *)
 
 exception Cycle of string
 (** Raised when an incremental procedure instance (transitively) calls
@@ -213,7 +223,55 @@ val settle_bounded : t -> max_steps:int -> bool
     of the inconsistent sets, in priority order, and returns whether the
     engine is now quiescent. Intended for spending idle cycles in slices
     ("the evaluation routine should be called whenever cycles are
-    available … and can be preempted when necessary"). *)
+    available … and can be preempted when necessary"). Always serial,
+    regardless of the engine's scheduling. *)
+
+(** {1 Parallel settlement} *)
+
+val settle_parallel : t -> domains:int -> unit
+(** Settles to quiescence with level-synchronized parallel propagation:
+    each round pops the front of queued nodes at minimal longest-path
+    depth (independent by construction — an edge between two queued
+    nodes forces distinct depths, and writers of a storage cell level
+    strictly below its other readers) and executes the front's eager
+    members concurrently on a reusable domain pool of [domains] lanes.
+    Storage and demand members are processed by the coordinator.
+    Workers buffer every engine mutation (edges, writes, marks,
+    telemetry, counters) in a per-lane context; the per-level merge
+    barrier journals write intents first and then applies the buffers
+    in lane order, so the propagated state is deterministic given the
+    workload. A worker that demands a dirty dependency mid-level claims
+    it (or waits for the sibling executing it); circular cross-worker
+    waits surface as {!Cycle}.
+
+    Failure semantics match the serial evaluator: a task whose body
+    raises has its previous edge set restored and its retry budget
+    charged at the barrier; fault-hook pokes fire on worker domains
+    (serialized); the settle-step watchdog degrades to exhaustive
+    recomputation. Equivalent to {!stabilize} when the engine was
+    created with [scheduling = Parallel _]. Falls back to the serial
+    evaluator when called during an execution. [domains = 1] uses the
+    full parallel machinery on the caller's lane only. *)
+
+val dirty_levels : t -> node list list
+(** The level fronts the next parallel settle would execute, shallowest
+    first; nodes within a front are in heap priority order's input
+    order. Introspection for {!Alphonse.Parallel.levels}, tests and
+    docs; an empty list means quiescent. *)
+
+val critical : t -> (unit -> 'a) -> 'a
+(** [critical t f] runs [f] under the engine's parallel-settle lock when
+    a parallel settle is active (and runs it plainly otherwise). Shared
+    caches that engine callbacks touch from worker domains — {!Func}
+    instance tables, {!Var} cell maps — wrap their mutations with this
+    to stay coherent; it is reentrant within one domain. *)
+
+val shutdown_pool : t -> unit
+(** Drops the engine's reference to its domain pool. Pools are
+    process-wide ({!Pool.shared}, keyed by domain count) and their
+    workers stay alive for reuse — this only detaches the engine. Safe
+    to call when no pool is attached; a later parallel settle
+    re-acquires one. *)
 
 (** {1 Fault tolerance} *)
 
@@ -399,6 +457,8 @@ type stats = {
   rollbacks : int;  (** transactions rolled back *)
   degradations : int;  (** watchdog degradations to exhaustive mode *)
   audits : int;  (** auditor runs (on demand or per-step) *)
+  par_levels : int;  (** parallel level fronts dispatched *)
+  par_tasks : int;  (** eager executions handed to the domain pool *)
 }
 
 val stats : t -> stats
@@ -415,3 +475,9 @@ val node_kind : node -> [ `Storage | `Instance ]
 val node_dirty : node -> bool
 val iter_node_succ : (node -> unit) -> node -> unit
 val iter_node_pred : (node -> unit) -> node -> unit
+
+val iter_node_writers : (node -> unit) -> node -> unit
+(** Tracked writers of a storage node, oldest-recorded first — the
+    implicit write-then-read serializations the parallel level rule
+    honours (and {!Inspect.parallel_profile} charges to the critical
+    path). Instances have no writers; discarded writers are skipped. *)

@@ -100,6 +100,13 @@ let find_or_create t a =
   match Htbl.find t.table a with
   | Some e -> e
   | None ->
+    (* table/recency mutations are serialized across worker domains by
+       the engine's parallel-settle lock (reentrant; free when no
+       parallel settle is active) *)
+    Engine.critical t.eng @@ fun () ->
+    match Htbl.find t.table a with
+    | Some e -> e (* created by a sibling while we waited for the lock *)
+    | None ->
     let cache = ref None in
     let recompute_ref = ref (fun () -> true) in
     let iname =
@@ -138,8 +145,11 @@ let call t a =
     match t.newest with
     | Some n when n == e -> ()
     | _ ->
-      unlink t e;
-      push_front t e)
+      Engine.critical t.eng (fun () ->
+          if e.live then begin
+            unlink t e;
+            push_front t e
+          end))
   | _ -> ());
   Engine.on_call t.eng e.enode;
   match !(e.cache) with

@@ -14,11 +14,20 @@ let length t = t.size
 let index t k = t.hash k land max_int mod Array.length t.buckets
 
 let find t k =
+  (* Snapshot the bucket array once: a concurrent [grow] (writers are
+     serialized by Engine.critical) swaps [t.buckets], and computing the
+     index against one array while reading another would alias the
+     wrong chain. Chains themselves are immutable lists, so a snapshot
+     read is always internally consistent — at worst it misses a
+     binding added after the snapshot, which callers handle by
+     re-checking under the lock before creating. *)
+  let buckets = t.buckets in
+  let i = t.hash k land max_int mod Array.length buckets in
   let rec go = function
     | [] -> None
     | (k', v) :: rest -> if t.equal k k' then Some v else go rest
   in
-  go t.buckets.(index t k)
+  go buckets.(i)
 
 let grow t =
   let old = t.buckets in

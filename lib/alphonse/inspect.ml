@@ -25,7 +25,10 @@ let pp_stats ppf (s : Engine.stats) =
        rollbacks:      %d@,\
        degradations:   %d@]"
       s.failures s.retries s.poisonings s.rollbacks s.degradations;
-  if s.audits > 0 then Fmt.pf ppf "@,audits:         %d" s.audits
+  if s.audits > 0 then Fmt.pf ppf "@,audits:         %d" s.audits;
+  if s.par_levels > 0 then
+    Fmt.pf ppf "@,parallel:       %d level(s), %d task(s) dispatched"
+      s.par_levels s.par_tasks
 
 let pp_graph_stats ppf (g : Depgraph.Graph.stats) =
   Fmt.pf ppf
@@ -53,9 +56,18 @@ type parallel_profile = {
 let parallel_profile eng =
   let levels : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let in_progress : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  (* only instances contribute depth: a storage node sits at its deepest
-     writer's level, so a maintained write-then-read chain costs one
-     level per re-execution, not two *)
+  (* Only instances contribute depth. A storage node itself is free, but
+     it is NOT transparent: an instance that reads a cell must level
+     below the cell's writers — every dependency edge points from the
+     cell to its consumers (readers and writers alike), so the writer
+     is invisible to a pred walk and has to be consulted explicitly via
+     [Engine.iter_node_writers]. This is the same writers-aware rule
+     the parallel evaluator schedules with ([Engine.dirty_levels]); the
+     old pred-only rule placed a maintained write-then-read chain's
+     writer and reader on one level, overstating the E15 speedup bound
+     (the reader cannot start until the writer commits). The reading
+     instance excludes itself: a maintained writer that reads back its
+     own cell must not self-deepen. *)
   let rec level n =
     let id = Engine.node_id n in
     match Hashtbl.find_opt levels id with
@@ -66,7 +78,14 @@ let parallel_profile eng =
         Hashtbl.replace in_progress id ();
         let deepest = ref 0 in
         Engine.iter_node_pred
-          (fun m -> deepest := max !deepest (level m))
+          (fun m ->
+            deepest := max !deepest (level m);
+            if Engine.node_kind m = `Storage then
+              Engine.iter_node_writers
+                (fun w ->
+                  if Engine.node_id w <> id then
+                    deepest := max !deepest (level w))
+                m)
           n;
         Hashtbl.remove in_progress id;
         let l =

@@ -1,0 +1,13 @@
+(* Façade over the engine's level-synchronized parallel evaluator; the
+   machinery lives in engine.ml (settle_parallel and friends) because it
+   shares the evaluator's private state. *)
+
+let scheduling ~domains =
+  if domains < 1 then invalid_arg "Parallel.scheduling: domains must be >= 1";
+  Engine.Parallel { domains }
+
+let settle eng ~domains = Engine.settle_parallel eng ~domains
+let levels eng = Engine.dirty_levels eng
+
+let max_width eng =
+  List.fold_left (fun acc l -> max acc (List.length l)) 0 (levels eng)

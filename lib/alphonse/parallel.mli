@@ -1,0 +1,45 @@
+(** Parallel propagation — level-synchronized settling on OCaml 5
+    domains.
+
+    The serial evaluator (§4.5) drains the inconsistent set one node at
+    a time. This façade exposes the engine's parallel evaluator, which
+    drains it {e level by level}: each round takes the queued nodes at
+    minimal longest-path depth over the affected subgraph — mutually
+    independent by construction, since a dependency edge between two
+    queued nodes forces them onto distinct levels, and a writer of a
+    storage cell levels strictly below the cell's other readers — and
+    executes them concurrently on a reusable domain pool
+    ({!Alphonse.Pool}). Workers buffer every engine mutation; a
+    per-level merge barrier applies the buffers in lane order, keeping
+    propagation deterministic and Theorem 5.1 intact under any domain
+    count.
+
+    Two ways to use it:
+    - create the engine with [~scheduling:(Engine.Parallel { domains })]
+      and every [Engine.stabilize] (and the settle inside each call and
+      transaction) runs parallel;
+    - keep serial scheduling and invoke {!settle} explicitly for chosen
+      settles. *)
+
+val scheduling : domains:int -> Engine.scheduling
+(** [scheduling ~domains] is [Engine.Parallel { domains }] after
+    validating [domains >= 1]. The caller's domain is one of the lanes:
+    [domains = 1] spawns no worker and serializes through the parallel
+    machinery; [domains = n] spawns [n - 1] workers. *)
+
+val settle : Engine.t -> domains:int -> unit
+(** [settle eng ~domains] settles to quiescence with the parallel
+    evaluator regardless of the engine's configured scheduling —
+    {!Engine.settle_parallel}. Falls back to the serial evaluator when
+    called during an incremental execution. *)
+
+val levels : Engine.t -> Engine.node list list
+(** The level fronts the next parallel settle would execute, shallowest
+    first ({!Engine.dirty_levels}). Empty when quiescent. The sum of
+    widths is the queued-node count; the list length bounds the
+    critical path of the pending propagation (the denominator of the
+    E15 parallel-speedup estimate — see [Inspect.parallel_profile]). *)
+
+val max_width : Engine.t -> int
+(** Widest pending level front: the instantaneous parallelism available
+    to the next settle. 0 when quiescent. *)

@@ -1,0 +1,134 @@
+(* Reusable domain pool.  One mutex guards the whole round state; tasks
+   run with the mutex released.  Workers sleep on [work_cv] between
+   rounds and the caller sleeps on [done_cv] until the round drains, so
+   an idle pool burns no cycles.  The round counter (not the task
+   array) is the wake-up signal: a worker that saw round [r] sleeps
+   until [round <> r], which survives spurious wake-ups and makes the
+   array swap race-free (the array is published under the same mutex
+   that publishes the round increment). *)
+
+type t = {
+  n_lanes : int;
+  run_m : Mutex.t; (* serializes whole rounds (shared pools) *)
+  m : Mutex.t;
+  work_cv : Condition.t; (* workers: a new round was posted *)
+  done_cv : Condition.t; (* caller: the current round drained *)
+  mutable round : int;
+  mutable tasks : (unit -> unit) array;
+  mutable next : int; (* first unclaimed task index *)
+  mutable completed : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list; (* lane order *)
+  mutable wids : int list; (* domain ids, lane order *)
+}
+
+(* Claim-and-run loop shared by workers and the caller.  Entered and
+   left with [p.m] held. *)
+let drain p =
+  let len = Array.length p.tasks in
+  while p.next < len do
+    let i = p.next in
+    p.next <- i + 1;
+    Mutex.unlock p.m;
+    (try p.tasks.(i) () with _ -> ());
+    Mutex.lock p.m;
+    p.completed <- p.completed + 1;
+    if p.completed = len then Condition.broadcast p.done_cv
+  done
+
+let worker_body p () =
+  let seen = ref 0 in
+  Mutex.lock p.m;
+  let rec loop () =
+    if p.stop then Mutex.unlock p.m
+    else if p.round = !seen then begin
+      Condition.wait p.work_cv p.m;
+      loop ()
+    end
+    else begin
+      seen := p.round;
+      drain p;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~lanes =
+  if lanes < 1 then invalid_arg "Pool.create: lanes must be >= 1";
+  let p =
+    {
+      n_lanes = lanes;
+      run_m = Mutex.create ();
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      round = 0;
+      tasks = [||];
+      next = 0;
+      completed = 0;
+      stop = false;
+      workers = [];
+      wids = [];
+    }
+  in
+  let workers = List.init (lanes - 1) (fun _ -> Domain.spawn (worker_body p)) in
+  p.workers <- workers;
+  p.wids <- List.map (fun d -> (Domain.get_id d :> int)) workers;
+  p
+
+let lanes p = p.n_lanes
+let worker_ids p = p.wids
+
+let run p task_list =
+  match task_list with
+  | [] -> ()
+  | _ ->
+    (* whole-round serialization: shared pools can be reached by two
+       engines (or two settles) at once; rounds must not interleave *)
+    Mutex.lock p.run_m;
+    let finally () = Mutex.unlock p.run_m in
+    Fun.protect ~finally @@ fun () ->
+    let tasks = Array.of_list task_list in
+    Mutex.lock p.m;
+    p.tasks <- tasks;
+    p.next <- 0;
+    p.completed <- 0;
+    p.round <- p.round + 1;
+    Condition.broadcast p.work_cv;
+    drain p;
+    while p.completed < Array.length tasks do
+      Condition.wait p.done_cv p.m
+    done;
+    p.tasks <- [||];
+    Mutex.unlock p.m
+
+let shutdown p =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.work_cv;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.workers;
+  p.workers <- []
+
+(* Process-wide pools keyed by lane count. OCaml caps live domains (128
+   in 5.1), and a pool's workers stay alive until [shutdown] — so code
+   that makes many engines (fault sweeps spawn one per poke site) must
+   share pools rather than spawn per engine. The engine's parallel
+   settle serializes rounds through [run_m], so two engines sharing a
+   pool settle one after the other. *)
+let shared_m = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~lanes =
+  if lanes < 1 then invalid_arg "Pool.shared: lanes must be >= 1";
+  Mutex.lock shared_m;
+  let p =
+    match Hashtbl.find_opt shared_pools lanes with
+    | Some p -> p
+    | None ->
+      let p = create ~lanes in
+      Hashtbl.replace shared_pools lanes p;
+      p
+  in
+  Mutex.unlock shared_m;
+  p

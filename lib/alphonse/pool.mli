@@ -1,0 +1,50 @@
+(** A reusable pool of OCaml 5 domains for level-synchronized parallel
+    settling.
+
+    A pool with [lanes = n] executes work on [n] concurrent lanes: the
+    caller of {!run} participates as lane 0 and [n - 1] spawned domains
+    serve the remaining lanes.  Domains are spawned once at {!create}
+    and reused across every {!run} round — spawning a domain costs
+    ~100µs, far more than one propagation level, so per-level spawning
+    would erase the speedup the pool exists to deliver.
+
+    {!run} is a barrier: it returns only when every task of the round
+    has completed.  Tasks must not raise — a stray exception is
+    swallowed (the engine's task wrappers record failures through their
+    own channel).  The pool is not reentrant: do not call {!run} from
+    inside a task. *)
+
+type t
+
+val create : lanes:int -> t
+(** [create ~lanes] spawns [lanes - 1] worker domains (so [lanes = 1]
+    spawns none and {!run} degenerates to a serial loop on the caller).
+    [lanes] must be >= 1. *)
+
+val shared : lanes:int -> t
+(** [shared ~lanes] is a process-wide pool with [lanes] lanes, created
+    on first use and reused forever after.  Prefer this over {!create}
+    when pools are made per engine: OCaml caps the number of live
+    domains (128 in 5.1) and worker domains stay alive until
+    {!shutdown}, so code that builds many engines — fault sweeps spawn
+    one per poke site — must share.  Rounds from different owners are
+    serialized: a second {!run} blocks until the first completes. *)
+
+val lanes : t -> int
+(** Number of concurrent lanes, including the caller's. *)
+
+val worker_ids : t -> int list
+(** Domain ids of the spawned workers, in lane order (lane 1 first).
+    Length is [lanes t - 1].  Stable for the lifetime of the pool; the
+    engine uses these to route each worker domain to its write
+    buffer. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Execute the tasks to completion, work-stealing style: idle lanes
+    (including the caller) repeatedly grab the next unstarted task.
+    Returns when all tasks have finished.  Exceptions escaping a task
+    are discarded. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool must not be used
+    afterwards.  Idempotent. *)

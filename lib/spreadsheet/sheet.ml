@@ -175,8 +175,10 @@ let cell_at t (c, r) =
     Hashtbl.add t.cells (c, r) cell;
     cell
 
-let create ?strategy ?partitioning () =
-  let eng = Engine.create ?default_strategy:strategy ?partitioning () in
+let create ?strategy ?scheduling ?partitioning () =
+  let eng =
+    Engine.create ?default_strategy:strategy ?scheduling ?partitioning ()
+  in
   let t = { eng; cells = Hashtbl.create 64; value_fn = None; journal = None } in
   (* the CellExp operation: read another cell's maintained value,
      converting a detected dependency cycle into an error value *)

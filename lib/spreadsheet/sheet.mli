@@ -37,7 +37,15 @@ type t
 (** A sheet (with its own private engine). *)
 
 val create :
-  ?strategy:Alphonse.Engine.strategy -> ?partitioning:bool -> unit -> t
+  ?strategy:Alphonse.Engine.strategy ->
+  ?scheduling:Alphonse.Engine.scheduling ->
+  ?partitioning:bool ->
+  unit ->
+  t
+(** [scheduling] selects the inconsistent-set drain order — pass
+    [Alphonse.Parallel.scheduling ~domains] to recalculate with
+    level-synchronized parallel settling (independent cells of one
+    dependency level re-evaluate concurrently). *)
 
 val engine : t -> Alphonse.Engine.t
 

@@ -430,9 +430,15 @@ type outcome = {
 }
 
 let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
-    ?audit (env : Tc.env) (analysis : Analysis.result) =
+    ?audit ?domains (env : Tc.env) (analysis : Analysis.result) =
+  (* [domains]: settle with the level-synchronized parallel evaluator on
+     that many lanes (1 = parallel machinery, caller's lane only) *)
+  let scheduling =
+    Option.map (fun d -> Engine.Parallel { domains = d }) domains
+  in
   let eng =
-    Engine.create ?default_strategy ?partitioning ?self_audit:audit ()
+    Engine.create ?default_strategy ?scheduling ?partitioning
+      ?self_audit:audit ()
   in
   Engine.set_telemetry eng telemetry;
   (match fault_seed with
@@ -469,11 +475,11 @@ let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
 
 (** Run the module body under Alphonse execution. *)
 let run ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed ?audit
-    (env : Tc.env) : outcome =
+    ?domains (env : Tc.env) : outcome =
   let analysis = Analysis.analyze env in
   match
     init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
-      ?audit env analysis
+      ?audit ?domains env analysis
   with
   | exception Runtime_error (msg, p) ->
     {

@@ -36,6 +36,7 @@ val run :
   ?telemetry:Alphonse.Telemetry.t ->
   ?fault_seed:int ->
   ?audit:bool ->
+  ?domains:int ->
   Lang.Typecheck.env ->
   outcome
 (** Run the module body under Alphonse execution (the analysis is run
@@ -49,7 +50,13 @@ val run :
     decision points occasionally raise, exercising the recovery paths;
     incremental calls are retried once after an injected fault. [audit]
     enables the per-step invariant auditor ({!Alphonse.Audit}); a
-    violation is reported through [error]. *)
+    violation is reported through [error].
+
+    [domains] selects level-synchronized parallel settling
+    ([Engine.Parallel]) on that many concurrent lanes — Theorem 5.1
+    holds under every domain count; [1] exercises the parallel
+    machinery on the caller's lane only. Omitted: serial
+    creation-order settling. *)
 
 (** {1 Internal entry points (the CLI's [graph] command, benches)} *)
 
@@ -60,6 +67,7 @@ val init_state :
   ?telemetry:Alphonse.Telemetry.t ->
   ?fault_seed:int ->
   ?audit:bool ->
+  ?domains:int ->
   Lang.Typecheck.env ->
   Analysis.result ->
   state

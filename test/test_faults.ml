@@ -23,6 +23,7 @@ module Binary = Attrgram.Binary
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)
+let par4 = Engine.Parallel { domains = 4 }
 
 let check_audit what eng =
   match Engine.audit_errors eng with
@@ -75,8 +76,8 @@ let sweep (make : workload) () =
 
 (* A var/func diamond plus an independent component: marks, edges,
    settles, and — when partitioned — partition melds. *)
-let diamond ~strategy ~partitioning () =
-  let eng = Engine.create ~default_strategy:strategy ~partitioning () in
+let diamond ?scheduling ~strategy ~partitioning () =
+  let eng = Engine.create ?scheduling ~default_strategy:strategy ~partitioning () in
   let a = Var.create eng ~name:"a" 2 in
   let b = Var.create eng ~name:"b" 5 in
   let z = Var.create eng ~name:"z" 100 in
@@ -114,8 +115,8 @@ let diamond ~strategy ~partitioning () =
 (* The §7.2 spreadsheet. Queries record the incremental AND the
    exhaustive value of every cell, so convergence to the from-scratch
    specification is part of the oracle string itself. *)
-let sheet_workload () =
-  let s = S.create () in
+let sheet_workload ?scheduling () =
+  let s = S.create ?scheduling () in
   let cells = [ (0, 0); (0, 1); (0, 2); (1, 0); (1, 1) ] in
   (* A1 A2 A3 B1 B2 *)
   let play () =
@@ -146,8 +147,8 @@ let sheet_workload () =
 (* The §7.3 AVL tree: side-effecting maintained balancing. The prologue
    deletes the whole key universe so the scenario is idempotent even
    when a fault aborted the previous attempt midway. *)
-let avl_workload () =
-  let eng = Engine.create () in
+let avl_workload ?scheduling () =
+  let eng = Engine.create ?scheduling () in
   let t = Avl.create eng in
   let universe = [ 1; 2; 3; 5; 6; 7; 8; 9 ] in
   let play () =
@@ -175,8 +176,8 @@ let avl_workload () =
 (* Knuth's binary-numeral attribute grammar: inherited + synthesized
    attribute re-evaluation under edits, with the from-scratch reference
    folded into the oracle. Bit edits are idempotent sets (not flips). *)
-let attrgram_workload () =
-  let eng = Engine.create () in
+let attrgram_workload ?scheduling () =
+  let eng = Engine.create ?scheduling () in
   let g = Binary.create eng in
   let n = Binary.of_string g "1101.01" in
   let leaves = Array.of_list (Binary.bit_leaves n) in
@@ -684,9 +685,27 @@ let () =
             (sweep (diamond ~strategy:Engine.Demand ~partitioning:false));
           Alcotest.test_case "diamond (eager, partitioned)" `Quick
             (sweep (diamond ~strategy:Engine.Eager ~partitioning:true));
-          Alcotest.test_case "spreadsheet" `Quick (sweep sheet_workload);
-          Alcotest.test_case "avl" `Quick (sweep avl_workload);
-          Alcotest.test_case "attribute grammar" `Quick (sweep attrgram_workload);
+          Alcotest.test_case "spreadsheet" `Quick (sweep (sheet_workload ?scheduling:None));
+          Alcotest.test_case "avl" `Quick (sweep (avl_workload ?scheduling:None));
+          Alcotest.test_case "attribute grammar" `Quick
+            (sweep (attrgram_workload ?scheduling:None));
+          (* The same per-poke sweeps with the parallel evaluator on 4
+             domains: every fault site must fire, recover, and converge
+             when pokes originate from worker domains. *)
+          Alcotest.test_case "diamond (eager, parallel-4)" `Quick
+            (sweep
+               (diamond ~scheduling:par4 ~strategy:Engine.Eager
+                  ~partitioning:false));
+          Alcotest.test_case "diamond (eager, partitioned, parallel-4)" `Quick
+            (sweep
+               (diamond ~scheduling:par4 ~strategy:Engine.Eager
+                  ~partitioning:true));
+          Alcotest.test_case "spreadsheet (parallel-4)" `Quick
+            (sweep (sheet_workload ~scheduling:par4));
+          Alcotest.test_case "avl (parallel-4)" `Quick
+            (sweep (avl_workload ~scheduling:par4));
+          Alcotest.test_case "attribute grammar (parallel-4)" `Quick
+            (sweep (attrgram_workload ~scheduling:par4));
         ] );
       ( "quarantine",
         [

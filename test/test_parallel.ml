@@ -1,0 +1,205 @@
+(* The parallel evaluator's acceptance suite: output equality with the
+   serial evaluator under every domain count (Theorem 5.1 must not
+   notice the pool), re-execution bounds, level-front introspection, the
+   writers-aware E15 speedup bound, and the well-nestedness of the
+   telemetry stream flushed from worker domains. *)
+
+module Engine = Alphonse.Engine
+module Var = Alphonse.Var
+module Func = Alphonse.Func
+module Parallel = Alphonse.Parallel
+module Inspect = Alphonse.Inspect
+module Telemetry = Alphonse.Telemetry
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* The E14 diamond: one input fanning out to two siblings joined by a
+   top sum — the smallest graph with a level of width two. *)
+let diamond ?scheduling () =
+  let eng = Engine.create ?scheduling ~default_strategy:Engine.Eager () in
+  let a = Var.create eng ~name:"a" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a + 1) in
+  let g = Func.create eng ~name:"g" (fun _ () -> Var.get a * 2) in
+  let top =
+    Func.create eng ~name:"top" (fun _ () -> Func.call f () + Func.call g ())
+  in
+  (eng, a, top)
+
+let play_diamond ?scheduling () =
+  let eng, a, top = diamond ?scheduling () in
+  let buf = Buffer.create 64 in
+  let q () =
+    Engine.stabilize eng;
+    Buffer.add_string buf (Fmt.str "%d;" (Func.call top ()))
+  in
+  q ();
+  Var.set a 5;
+  q ();
+  Var.set a (-3);
+  q ();
+  Var.set a 5;
+  q ();
+  (Buffer.contents buf, eng)
+
+(* Diamond under domains 1, 2 and 4: same observations as the serial
+   evaluator, and no more re-executions than the serial topological
+   count plus duplicates bounded by the widest level (the claim table
+   makes the slack zero in practice, but only the bound is contractual). *)
+let test_diamond_domains () =
+  let serial_out, serial_eng = play_diamond () in
+  let serial_execs = (Engine.stats serial_eng).Engine.executions in
+  let max_level_width = 2 in
+  List.iter
+    (fun d ->
+      let out, eng = play_diamond ~scheduling:(Parallel.scheduling ~domains:d) () in
+      checks (Fmt.str "output equal at %d domain(s)" d) serial_out out;
+      let st = Engine.stats eng in
+      checkb
+        (Fmt.str "executions within bound at %d domain(s)" d)
+        true
+        (st.Engine.executions >= serial_execs
+        && st.Engine.executions <= serial_execs + max_level_width);
+      checkb
+        (Fmt.str "parallel machinery engaged at %d domain(s)" d)
+        true
+        (st.Engine.par_levels > 0 && st.Engine.par_tasks > 0))
+    [ 1; 2; 4 ]
+
+(* Level-front introspection: an input edit queues only the storage cell
+   (successors join the inconsistent set as the cell pops), so the
+   pending front is [a]; the settle itself then runs exactly three
+   fronts — a; f g; top — visible as the stats delta. *)
+let test_levels_introspection () =
+  let eng, a, top = diamond ~scheduling:(Parallel.scheduling ~domains:2) () in
+  ignore (Func.call top ());
+  Engine.stabilize eng;
+  checki "quiescent: no pending levels" 0 (List.length (Parallel.levels eng));
+  checki "quiescent: max width 0" 0 (Parallel.max_width eng);
+  Var.set a 9;
+  let widths = List.map List.length (Parallel.levels eng) in
+  Alcotest.(check (list int)) "pending level widths" [ 1 ] widths;
+  checki "max width" 1 (Parallel.max_width eng);
+  let st0 = Engine.stats eng in
+  Engine.stabilize eng;
+  checki "settled: no pending levels" 0 (List.length (Parallel.levels eng));
+  checki "settled value" 28 (Func.call top ());
+  let st1 = Engine.stats eng in
+  checki "three level fronts for the edit" 3
+    (st1.Engine.par_levels - st0.Engine.par_levels);
+  checki "three pool tasks for the edit" 3
+    (st1.Engine.par_tasks - st0.Engine.par_tasks)
+
+(* Satellite fix pin: the 3-node diamond's E15 bound is exactly 3
+   instances / 2 levels = 1.5. *)
+let test_profile_diamond_bound () =
+  let eng, _a, top = diamond () in
+  ignore (Func.call top ());
+  Engine.stabilize eng;
+  let p = Inspect.parallel_profile eng in
+  checki "instances" 3 p.Inspect.total_instances;
+  checki "critical path" 2 p.Inspect.critical_path;
+  checki "max width" 2 p.Inspect.max_width;
+  Alcotest.(check (float 1e-6)) "E15 speedup bound" 1.5 p.Inspect.speedup_bound
+
+(* Satellite fix pin: a maintained write-then-read chain w -> s -> r is
+   serial. All dependency edges point from the cell s to its consumers,
+   so a pred walk sees w and r as independent — the pred-only rule put
+   both on one level and reported a 2.0x bound for a chain with no
+   parallelism at all. The writers-aware rule charges the writer to the
+   reader's depth: critical path 2, bound 1.0. *)
+let test_profile_writers_chain () =
+  let eng = Engine.create ~default_strategy:Engine.Eager () in
+  let a = Var.create eng ~name:"a" 1 in
+  let s = Var.create eng ~name:"s" 0 in
+  let w =
+    Func.create eng ~name:"w" (fun _ () -> Var.set s (Var.get a * 10))
+  in
+  let r = Func.create eng ~name:"r" (fun _ () -> Var.get s + 1) in
+  ignore (Func.call w ());
+  checki "r sees the maintained write" 11 (Func.call r ());
+  Engine.stabilize eng;
+  let p = Inspect.parallel_profile eng in
+  checki "instances" 2 p.Inspect.total_instances;
+  checki "write-then-read critical path" 2 p.Inspect.critical_path;
+  Alcotest.(check (float 1e-6)) "no parallelism" 1.0 p.Inspect.speedup_bound
+
+(* The flushed telemetry stream: Par_domain brackets never nest, the
+   Exec begin/end events inside a bracket are properly nested (the
+   bracket replays one worker's buffer in order), and level begin/end
+   markers alternate with matching level numbers. *)
+let test_telemetry_well_nested () =
+  let eng, a, top = diamond ~scheduling:(Parallel.scheduling ~domains:4) () in
+  let tm = Telemetry.create () in
+  Engine.set_telemetry eng (Some tm);
+  ignore (Func.call top ());
+  Engine.stabilize eng;
+  Var.set a 7;
+  Engine.stabilize eng;
+  let open_domain = ref None in
+  let exec_stack = ref [] in
+  let open_level = ref None in
+  let brackets = ref 0 in
+  Telemetry.iter tm (fun { Telemetry.ev; _ } ->
+      match ev with
+      | Telemetry.Par_domain_begin { domain } ->
+        checkb "brackets do not nest" true (!open_domain = None);
+        open_domain := Some domain;
+        incr brackets;
+        exec_stack := []
+      | Telemetry.Par_domain_end { domain } ->
+        checkb "bracket ends match" true (!open_domain = Some domain);
+        checkb "execs closed before bracket end" true (!exec_stack = []);
+        open_domain := None
+      | Telemetry.Exec_begin { id; _ } when !open_domain <> None ->
+        exec_stack := id :: !exec_stack
+      | Telemetry.Exec_end { id; _ } when !open_domain <> None -> (
+        match !exec_stack with
+        | top :: rest ->
+          checki "exec events are LIFO within a bracket" top id;
+          exec_stack := rest
+        | [] -> Alcotest.fail "Exec_end without Exec_begin in bracket")
+      | Telemetry.Par_level_begin { level; _ } ->
+        checkb "level fronts do not nest" true (!open_level = None);
+        open_level := Some level
+      | Telemetry.Par_level_end { level; _ } ->
+        checkb "level ends match" true (!open_level = Some level);
+        open_level := None
+      | _ -> ());
+  checkb "no dangling bracket" true (!open_domain = None);
+  checkb "no dangling level" true (!open_level = None);
+  checkb "at least one bracket flushed" true (!brackets > 0);
+  let occ = Telemetry.par_occupancy tm in
+  checkb "occupancy sees the level fronts" true (occ.Telemetry.par_levels > 0);
+  checkb "occupancy sees dispatched tasks" true (occ.Telemetry.par_dispatched > 0);
+  let counted =
+    List.fold_left
+      (fun acc (o : Telemetry.par_occupancy) -> acc + o.Telemetry.domain_tasks)
+      0 occ.Telemetry.occupancy
+  in
+  checkb "per-domain task counts cover the dispatches" true (counted > 0)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "settle",
+        [
+          Alcotest.test_case "diamond under 1/2/4 domains" `Quick
+            test_diamond_domains;
+          Alcotest.test_case "level-front introspection" `Quick
+            test_levels_introspection;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "diamond E15 bound is 1.5" `Quick
+            test_profile_diamond_bound;
+          Alcotest.test_case "write-then-read chain is serial" `Quick
+            test_profile_writers_chain;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "worker events are well-nested" `Quick
+            test_telemetry_well_nested;
+        ] );
+    ]

@@ -1,0 +1,346 @@
+(* Documentation integrity checker, run from `dune runtest` (test/docs.t)
+   and CI. Over README.md and docs/*.md it verifies that
+
+   - every relative markdown link resolves to a real file or directory;
+   - every inline-code reference that looks like an OCaml module path
+     (`Engine.transact`, `Alphonse.Parallel.settle`, `Trees.Itree`)
+     resolves against lib/: the module file must exist and each
+     trailing ident must occur in its interface or implementation;
+   - with --help-text FILE, every `--flag` the docs mention appears in
+     the given help corpus (the cram test feeds it `alphonsec *
+     --help=plain` output), so documented flags cannot drift from the
+     CLI.
+
+   Unknown leading modules (stdlib, opam libraries) are skipped, not
+   failed: the point is to catch references into *this* repo that rot
+   when code moves. Exit status 1 and a per-finding line on stderr when
+   anything is broken; a single "docs OK" on stdout otherwise. *)
+
+let root = ref "."
+let help_text : string option ref = ref None
+let verbose = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: d :: rest -> root := d; parse rest
+    | "--help-text" :: f :: rest -> help_text := Some f; parse rest
+    | "--verbose" :: rest -> verbose := true; parse rest
+    | a :: _ ->
+      Printf.eprintf "check_docs: unknown argument %s\n" a;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let errors = ref 0
+
+let err fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr errors;
+      prerr_endline s)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let ( / ) = Filename.concat
+
+(* ------------------------------------------------------------------ *)
+(* The doc set                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let doc_files =
+  let docs_dir = !root / "docs" in
+  let in_docs =
+    if Sys.file_exists docs_dir && Sys.is_directory docs_dir then
+      Sys.readdir docs_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".md")
+      |> List.sort compare
+      |> List.map (fun f -> "docs" / f)
+    else []
+  in
+  let candidates = "README.md" :: in_docs in
+  List.filter (fun f -> Sys.file_exists (!root / f)) candidates
+
+let () =
+  if doc_files = [] then (
+    Printf.eprintf "check_docs: no README.md or docs/*.md under %s\n" !root;
+    exit 2)
+
+(* ------------------------------------------------------------------ *)
+(* Module index over lib/                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* namespace (capitalized lib directory, e.g. Alphonse, Trees) ->
+   directory path *)
+let namespaces : (string, string) Hashtbl.t = Hashtbl.create 16
+
+(* module name (capitalized basename, e.g. Engine) -> source files *)
+let modules : (string, string list) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  let lib = !root / "lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then
+    Array.iter
+      (fun d ->
+        let dir = lib / d in
+        if Sys.is_directory dir then begin
+          Hashtbl.replace namespaces (String.capitalize_ascii d) dir;
+          Array.iter
+            (fun f ->
+              if
+                Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+              then begin
+                let m =
+                  String.capitalize_ascii (Filename.remove_extension f)
+                in
+                let prev =
+                  Option.value ~default:[] (Hashtbl.find_opt modules m)
+                in
+                Hashtbl.replace modules m ((dir / f) :: prev)
+              end)
+            (Sys.readdir dir)
+        end)
+      (Sys.readdir lib)
+
+let content_cache : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let contents_of path =
+  match Hashtbl.find_opt content_cache path with
+  | Some s -> s
+  | None ->
+    let s = try read_file path with Sys_error _ -> "" in
+    Hashtbl.replace content_cache path s;
+    s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* every source file registered for module [m] (e.g. both engine.mli
+   and engine.ml), concatenated *)
+let module_text m =
+  match Hashtbl.find_opt modules m with
+  | None -> None
+  | Some files -> Some (String.concat "\n" (List.map contents_of files))
+
+let dir_text dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+  |> List.map (fun f -> contents_of (dir / f))
+  |> String.concat "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Markdown scanning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* a code span is a module path when it splits on '.' into >= 2
+   identifier components, the first capitalized *)
+let module_path_of span =
+  let comps = String.split_on_char '.' span in
+  let ident s =
+    s <> "" && String.for_all is_ident_char s
+  in
+  match comps with
+  | first :: _ :: _
+    when List.for_all ident comps
+         && first.[0] >= 'A'
+         && first.[0] <= 'Z' ->
+    Some comps
+  | _ -> None
+
+let lines_of s = String.split_on_char '\n' s
+
+(* inline code spans of one line: the odd-numbered fields of a split on
+   backticks (ignoring the empty spans a `` fence edge produces) *)
+let spans_of_line line =
+  let fields = String.split_on_char '`' line in
+  let rec go i = function
+    | [] -> []
+    | f :: rest -> if i land 1 = 1 && f <> "" then f :: go (i + 1) rest
+                   else go (i + 1) rest
+  in
+  go 0 fields
+
+(* [text](target) links of one line *)
+let links_of_line line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = '[' then begin
+      match String.index_from_opt line !i ']' with
+      | Some j when j + 1 < n && line.[j + 1] = '(' -> (
+        match String.index_from_opt line (j + 1) ')' with
+        | Some k ->
+          out := String.sub line (j + 2) (k - j - 2) :: !out;
+          i := k + 1
+        | None -> i := n)
+      | _ -> incr i
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* --flag tokens anywhere in the text (including fenced blocks: usage
+   examples live there). "---" table rules don't match: the char after
+   "--" must be a letter. *)
+let flags_of_text s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    if
+      s.[!i] = '-'
+      && s.[!i + 1] = '-'
+      && s.[!i + 2] >= 'a'
+      && s.[!i + 2] <= 'z'
+      && (!i = 0 || s.[!i - 1] <> '-')
+    then begin
+      let j = ref (!i + 2) in
+      while
+        !j < n
+        && ((s.[!j] >= 'a' && s.[!j] <= 'z')
+           || (s.[!j] >= '0' && s.[!j] <= '9')
+           || s.[!j] = '-')
+      do
+        incr j
+      done;
+      out := String.sub s !i (!j - !i) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !out
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let checked_links = ref 0
+let checked_refs = ref 0
+
+let check_link docfile target =
+  let target = String.trim target in
+  let external_ l =
+    List.exists
+      (fun p ->
+        String.length target >= String.length p
+        && String.sub target 0 (String.length p) = p)
+      l
+  in
+  if target = "" || target.[0] = '#' then ()
+  else if external_ [ "http://"; "https://"; "mailto:" ] then ()
+  else begin
+    let path =
+      match String.index_opt target '#' with
+      | Some i -> String.sub target 0 i
+      | None -> target
+    in
+    incr checked_links;
+    let resolved = !root / Filename.dirname docfile / path in
+    if not (Sys.file_exists resolved) then
+      err "%s: broken link: %s" docfile target
+  end
+
+(* Resolve Module.ident / Namespace.Module.ident against lib/. Unknown
+   heads are stdlib or third-party: skipped. *)
+let check_code_ref docfile comps =
+  let span = String.concat "." comps in
+  let idents_in text idents =
+    match List.find_opt (fun id -> not (contains text id)) idents with
+    | Some missing ->
+      err "%s: code reference `%s`: `%s` not found in the sources of its \
+           module"
+        docfile span missing
+    | None -> ()
+  in
+  match comps with
+  | ns :: rest when Hashtbl.mem namespaces ns -> (
+    let dir = Hashtbl.find namespaces ns in
+    incr checked_refs;
+    match rest with
+    | [] -> ()
+    | m :: idents -> (
+      let base = String.uncapitalize_ascii m in
+      let file_for ext = dir / (base ^ ext) in
+      if Sys.file_exists (file_for ".mli") || Sys.file_exists (file_for ".ml")
+      then
+        let text =
+          String.concat "\n"
+            (List.filter_map
+               (fun ext ->
+                 let f = file_for ext in
+                 if Sys.file_exists f then Some (contents_of f) else None)
+               [ ".mli"; ".ml" ])
+        in
+        idents_in text idents
+      else if contains (dir_text dir) ("module " ^ m) then ()
+      else
+        err "%s: code reference `%s`: no module %s in %s" docfile span m dir))
+  | m :: idents when Hashtbl.mem modules m -> (
+    incr checked_refs;
+    match module_text m with
+    | Some text -> idents_in text idents
+    | None -> ())
+  | _ -> (* stdlib / external *) ()
+
+let doc_flags = ref []
+
+let check_doc docfile =
+  let text = contents_of (!root / docfile) in
+  doc_flags := flags_of_text text @ !doc_flags;
+  let fenced = ref false in
+  List.iter
+    (fun line ->
+      let trimmed = String.trim line in
+      if String.length trimmed >= 3 && String.sub trimmed 0 3 = "```" then
+        fenced := not !fenced
+      else if not !fenced then begin
+        List.iter (check_link docfile) (links_of_line line);
+        List.iter
+          (fun span ->
+            match module_path_of span with
+            | Some comps -> check_code_ref docfile comps
+            | None -> ())
+          (spans_of_line line)
+      end)
+    (lines_of text)
+
+let () = List.iter check_doc doc_files
+
+(* every flag the docs mention must appear in the CLI help corpus *)
+let () =
+  match !help_text with
+  | None -> ()
+  | Some file ->
+    if not (Sys.file_exists file) then (
+      Printf.eprintf "check_docs: no such help corpus: %s\n" file;
+      exit 2);
+    let help = read_file file in
+    List.iter
+      (fun flag ->
+        if not (contains help flag) then
+          err "documented flag %s does not appear in `alphonsec --help` output"
+            flag)
+      (List.sort_uniq compare !doc_flags)
+
+let () =
+  if !errors > 0 then exit 1;
+  if !verbose then
+    Printf.printf "docs OK: %d file(s), %d link(s), %d code ref(s), %d flag(s)\n"
+      (List.length doc_files) !checked_links !checked_refs
+      (List.length (List.sort_uniq compare !doc_flags))
+  else print_endline "docs OK"
