@@ -14,7 +14,9 @@
      graph      dump the dependency graph of a run as DOT
      samples    list or dump the built-in sample programs
      sheet      run a durable spreadsheet edit script (WAL + snapshots)
-     recover    recover a durable state directory and report *)
+     recover    recover a durable state directory and report
+     metrics    run a module and dump the metrics registry (Prometheus/JSON)
+     serve      HTTP exposition: /metrics /metrics.json /healthz /readyz *)
 
 module P = Lang.Parser
 module Tc = Lang.Typecheck
@@ -27,6 +29,9 @@ module Incr = Transform.Incr_interp
 module Engine = Alphonse.Engine
 module Telemetry = Alphonse.Telemetry
 module Inspect = Alphonse.Inspect
+module Metrics = Alphonse.Metrics
+module Flight = Alphonse.Flight
+module Serve = Alphonse.Serve
 open Cmdliner
 
 let read_source path =
@@ -146,9 +151,28 @@ let emit_profile ~ppf profile tm =
   match tm with
   | Some tm when profile ->
     Fmt.pf ppf "== per-instance profile (hottest first) ==@.%a@."
-      (Telemetry.pp_profile ~top:25)
+      (Inspect.pp_profile_quantiles ~top:25)
       (Telemetry.profile tm)
   | _ -> ()
+
+(* The flight recorder is always on: even without --trace/--profile the
+   engine keeps a small bounded telemetry window, and an anomaly — a
+   quarantine, a poisoning, a watchdog degradation, a degraded crash
+   recovery — dumps it as a timestamped incident report. *)
+let incidents_arg =
+  let doc =
+    "Directory for flight-recorder incident reports (created on the \
+     first incident; a report carries the trigger, the trailing \
+     telemetry window, a metrics snapshot and the failing node's \
+     provenance chain)."
+  in
+  Arg.(value & opt string "incidents" & info [ "incidents" ] ~docv:"DIR" ~doc)
+
+let arm_flight ?metrics ~incidents tm =
+  ignore
+    (Flight.arm ?metrics ~dir:incidents
+       ~on_report:(fun path -> Fmt.epr "[incident report: %s]@." path)
+       tm)
 
 (* ---------------- subcommands ---------------- *)
 
@@ -331,7 +355,7 @@ let lint_cmd =
 
 let run_cmd =
   let run path conventional strategy partitioning domains fuel log trace
-      profile fault_seed audit =
+      profile fault_seed audit incidents =
     setup_log log;
     with_module path (fun env ->
         if conventional then begin
@@ -346,10 +370,21 @@ let run_cmd =
             1
         end
         else begin
-          let tm = recorder_for ~trace ~profile in
+          let tm =
+            (* a small always-on ring when no recorder was asked for: the
+               flight recorder needs a window to dump *)
+            match recorder_for ~trace ~profile with
+            | Some tm -> tm
+            | None -> Telemetry.create ~capacity:4096 ()
+          in
+          (* an always-on registry too, so an incident report carries the
+             counters at the moment of the trigger *)
+          let reg = Metrics.create () in
+          arm_flight ~metrics:reg ~incidents tm;
+          let tm = Some tm in
           let out =
             Incr.run ~fuel ~default_strategy:strategy ~partitioning
-              ?telemetry:tm ?fault_seed ~audit ?domains env
+              ?telemetry:tm ~metrics:reg ?fault_seed ~audit ?domains env
           in
           print_string out.Incr.output;
           emit_trace trace tm;
@@ -394,7 +429,7 @@ let run_cmd =
     Term.(
       const run $ path_arg $ conventional $ strategy_arg $ partitioning_arg
       $ domains_arg $ fuel_arg $ log_arg $ trace_arg $ profile_arg
-      $ fault_seed $ audit)
+      $ fault_seed $ audit $ incidents_arg)
 
 let compare_cmd =
   let run path strategy partitioning domains fuel trace profile =
@@ -475,7 +510,7 @@ let profile_cmd =
             else begin
               Fmt.pr "== per-instance profile: hottest first ==@.";
               Fmt.pr "%a@."
-                (Telemetry.pp_profile ?top)
+                (Inspect.pp_profile_quantiles ?top)
                 (Telemetry.profile tm);
               (* per-domain occupancy, when parallel settles ran *)
               let occ = Telemetry.par_occupancy tm in
@@ -604,7 +639,8 @@ let split1 s =
       String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
 
 let sheet_cmd =
-  let run script state policy checkpoint_end kill_at no_restore domains =
+  let run script state policy checkpoint_end kill_at no_restore domains
+      incidents =
     let text =
       match script with
       | "-" -> In_channel.input_all In_channel.stdin
@@ -615,6 +651,14 @@ let sheet_cmd =
     in
     let sheet = Sheet.create ?scheduling () in
     let eng = Sheet.engine sheet in
+    (* observability is wired before recovery so a degraded recovery is
+       itself an incident, and recovery timings land in the registry *)
+    let reg = Metrics.create () in
+    let tm = Telemetry.create ~capacity:4096 () in
+    Engine.set_metrics eng (Some reg);
+    Engine.set_telemetry eng (Some tm);
+    Telemetry.set_metrics tm (Some reg);
+    arm_flight ~metrics:reg ~incidents tm;
     let p = Sheet.persist sheet in
     let session =
       match state with
@@ -696,7 +740,140 @@ let sheet_cmd =
     (Cmd.info "sheet" ~doc)
     Term.(
       const run $ script_arg $ state_arg $ wal_arg $ checkpoint_arg $ kill_arg
-      $ no_restore_arg $ domains_arg)
+      $ no_restore_arg $ domains_arg $ incidents_arg)
+
+(* ---------------- observability ---------------- *)
+
+let metrics_cmd =
+  let run path strategy partitioning domains fuel fault_seed audit json =
+    with_module path (fun env ->
+        let reg = Metrics.create () in
+        let out =
+          Incr.run ~fuel ~default_strategy:strategy ~partitioning ~metrics:reg
+            ?fault_seed ~audit ?domains env
+        in
+        (* stdout carries the exposition; the program's own output is
+           dropped here — use [run] for it *)
+        (match out.Incr.error with
+        | None -> ()
+        | Some e -> Fmt.epr "runtime error: %s@." e);
+        if json then
+          Fmt.pr "%s@." (Alphonse.Json.to_string (Metrics.to_json reg))
+        else print_string (Metrics.to_prometheus reg);
+        match out.Incr.error with None -> 0 | Some _ -> 1)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the registry as JSON (histograms carry count/sum and \
+             estimated p50/p90/p99) instead of Prometheus text.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Install a seeded fault injector for the run, so the failure \
+             counters (quarantines, retries, injections) are exercised.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ] ~doc:"Run the invariant auditor per settle step.")
+  in
+  let doc =
+    "Execute a module with the metrics registry attached and dump the \
+     registry — Prometheus text format by default, JSON with $(b,--json). \
+     The same registry a long-running $(b,alphonsec serve) exposes over \
+     HTTP, rendered once after one run."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ path_arg $ strategy_arg $ partitioning_arg $ domains_arg
+      $ fuel_arg $ fault_seed $ audit $ json)
+
+let serve_cmd =
+  let run port state max_requests incidents =
+    let reg = Metrics.create () in
+    let tm = Telemetry.create ~capacity:4096 () in
+    let sheet = Sheet.create () in
+    let eng = Sheet.engine sheet in
+    Engine.set_metrics eng (Some reg);
+    Engine.set_telemetry eng (Some tm);
+    Telemetry.set_metrics tm (Some reg);
+    arm_flight ~metrics:reg ~incidents tm;
+    let p = Sheet.persist sheet in
+    let degraded_recovery = ref false in
+    let session =
+      match state with
+      | None -> None
+      | Some dir ->
+        let o = Durable.recover ~dir eng p in
+        Fmt.epr "[%a]@." Durable.pp_outcome o;
+        degraded_recovery := o.Durable.o_degraded;
+        let s = Durable.attach ~dir eng p in
+        Sheet.set_journal sheet (Some (Durable.journal_op s));
+        Some s
+    in
+    (* ready = the state this process serves is trustworthy: the last
+       recovery (if any) kept incrementality, and no instance is
+       poisoned. healthz only says the process answers requests. *)
+    let ready () =
+      (not !degraded_recovery) && (Engine.stats eng).Engine.poisonings = 0
+    in
+    let srv =
+      Serve.create ~port
+        [
+          ("/metrics", fun () -> Serve.text (Metrics.to_prometheus reg));
+          ( "/metrics.json",
+            fun () ->
+              Serve.json (Alphonse.Json.to_string (Metrics.to_json reg)) );
+          ("/healthz", fun () -> Serve.text "ok\n");
+          ( "/readyz",
+            fun () ->
+              if ready () then Serve.text "ready\n"
+              else Serve.text ~status:503 "degraded\n" );
+        ]
+    in
+    Fmt.epr "[serving http://127.0.0.1:%d/metrics /metrics.json /healthz \
+             /readyz]@."
+      (Serve.port srv);
+    (match max_requests with
+    | Some n -> Serve.serve ~max_requests:n srv
+    | None -> Serve.serve_forever srv);
+    Serve.close srv;
+    Option.iter Durable.detach session;
+    0
+  in
+  let port_arg =
+    let doc =
+      "Port for the HTTP exposition endpoint (0 picks a free one; the \
+       bound port is printed to stderr)."
+    in
+    Arg.(value & opt int 9464 & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let max_requests_arg =
+    let doc =
+      "Answer exactly $(docv) requests, then exit (default: serve \
+       forever). Lets scripts and CI probe the endpoint without managing \
+       a daemon."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "max-requests" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Serve the observability surface over HTTP/1.0: Prometheus text on \
+     /metrics, JSON on /metrics.json, liveness on /healthz, readiness on \
+     /readyz (503 after a degraded recovery or with poisoned instances). \
+     With $(b,--state), recovers the durable spreadsheet directory first \
+     — its recovery counters and timings are scrapable immediately."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ port_arg $ state_arg $ max_requests_arg $ incidents_arg)
 
 let recover_cmd =
   let run dir render =
@@ -727,5 +904,5 @@ let () =
           [
             check_cmd; print_cmd; transform_cmd; analyze_cmd; lint_cmd;
             run_cmd; compare_cmd; profile_cmd; graph_cmd; samples_cmd;
-            sheet_cmd; recover_cmd;
+            sheet_cmd; recover_cmd; metrics_cmd; serve_cmd;
           ]))

@@ -37,3 +37,6 @@ module Json = Json
 module Wal = Wal
 module Durable = Durable
 module Htbl = Htbl
+module Metrics = Metrics
+module Flight = Flight
+module Serve = Serve

@@ -137,6 +137,7 @@ let attach ?(policy = Wal.Commit) ?segment_limit ?(keep_snapshots = 2) ~dir
   in
   Wal.set_on_rotate wal
     (Some (fun segment -> emit eng (Telemetry.Wal_rotated { segment })));
+  Wal.set_metrics wal (Engine.metrics eng);
   Engine.set_journal eng
     (Some
        {
@@ -203,7 +204,18 @@ let count_nodes eng =
   Engine.iter_nodes eng (fun _ -> incr n);
   !n
 
+(* Snapshot / recovery timings resolve their cells per call: both are
+   rare (checkpoint cadence, process start), so the registry lookup cost
+   is irrelevant, and recovery may run before any engine work exists. *)
+let observe_duration eng name ~help t0 =
+  match Engine.metrics eng with
+  | None -> ()
+  | Some reg -> Metrics.observe_since (Metrics.histogram reg name ~help) t0
+
 let write_snapshot s ~wal_from =
+  let t0 =
+    match Engine.metrics s.eng with None -> 0. | Some _ -> Metrics.now ()
+  in
   poke s "snap-begin";
   let body =
     Json.to_string
@@ -247,6 +259,8 @@ let write_snapshot s ~wal_from =
          bytes = String.length content;
          nodes = count_nodes s.eng;
        });
+  observe_duration s.eng "snapshot_seconds"
+    ~help:"time to write, fsync and publish one snapshot" t0;
   final
 
 (* Keep the newest [keep_snapshots] snapshots, and every journal
@@ -411,6 +425,9 @@ let intents_agree ~journaled ~captured =
 let recover ?(verify = true) ~dir eng p =
   if Engine.journal eng <> None then
     invalid_arg "Durable.recover: detach the engine's journal first";
+  let t0 =
+    match Engine.metrics eng with None -> 0. | Some _ -> Metrics.now ()
+  in
   emit eng (Telemetry.Recovery_started { dir });
   let warnings = ref [] in
   let warn fmt = Printf.ksprintf (fun m -> warnings := m :: !warnings) fmt in
@@ -523,6 +540,27 @@ let recover ?(verify = true) ~dir eng p =
          verified;
          degraded;
        });
+  (match Engine.metrics eng with
+  | None -> ()
+  | Some reg ->
+    Metrics.inc
+      (Metrics.counter reg "recoveries_total"
+         ~labels:[ ("degraded", if degraded then "yes" else "no") ]
+         ~help:"crash recoveries, by whether incrementality was abandoned");
+    (* gauges describe the LAST recovery, for readiness probes *)
+    let gauge n h v =
+      Metrics.set (Metrics.gauge reg n ~help:h) (float_of_int v)
+    in
+    gauge "recovery_last_replayed" "committed ops applied by the last recovery"
+      !replayed;
+    gauge "recovery_last_discarded"
+      "journal entries dropped by the last recovery (uncommitted txns)"
+      discarded;
+    gauge "recovery_last_degraded"
+      "1 if the last recovery degraded to exhaustive recomputation"
+      (if degraded then 1 else 0);
+    observe_duration eng "recover_seconds"
+      ~help:"end-to-end duration of crash recovery" t0);
   {
     o_dir = dir;
     o_snapshot = snapshot;

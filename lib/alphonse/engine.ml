@@ -198,6 +198,34 @@ type par = {
   pokem : Mutex.t; (* serializes fault-hook calls across domains *)
 }
 
+(* Metrics cells, resolved once at [set_metrics] time so the hot sites
+   never touch the registry (and its mutex). Each site is one [match]
+   on [t.metrics] — the same single-branch disabled-path discipline as
+   telemetry — and enabled updates are lock-free atomics, safe from
+   pool lanes without the engine lock (which is what makes the counter
+   totals exact under a domains=4 settle). *)
+type mcells = {
+  mreg : Metrics.t;
+  m_settles_serial : Metrics.counter;
+  m_settles_parallel : Metrics.counter;
+  m_settle_steps : Metrics.counter;
+  m_settle_seconds : Metrics.histogram;
+  m_exec_first : Metrics.counter;
+  m_exec_re : Metrics.counter;
+  m_hits : Metrics.counter;
+  m_cutoffs : Metrics.counter;
+  m_quarantines : Metrics.counter;
+  m_poisonings : Metrics.counter;
+  m_retries : Metrics.counter;
+  m_degradations : Metrics.counter;
+  m_rollbacks : Metrics.counter;
+  m_par_levels : Metrics.counter;
+  m_par_tasks : Metrics.counter;
+  (* per-lane pool cells, resolved at the first parallel settle and
+     keyed by lane count (a new domain count re-resolves them) *)
+  mutable m_pool : (int * Pool.cells) option;
+}
+
 type t = {
   graph : payload G.t;
   heap_leq : nd -> nd -> bool;
@@ -218,6 +246,7 @@ type t = {
   mutable dirty_parts : partition list;
   mutable all_nodes : nd list;
   mutable telemetry : Telemetry.t option;
+  mutable metrics : mcells option;
   (* parallel settle *)
   mutable par : par option; (* Some iff a parallel settle is active *)
   mutable pool : (int * Pool.t) option; (* cached domain pool, by size *)
@@ -279,6 +308,7 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     dirty_parts = [];
     all_nodes = [];
     telemetry = None;
+    metrics = None;
     par = None;
     pool = None;
     quarantined = [];
@@ -412,6 +442,47 @@ let[@inline] emit t ev =
 
 let set_telemetry t tm = t.telemetry <- tm
 let telemetry t = t.telemetry
+
+let set_metrics t = function
+  | None -> t.metrics <- None
+  | Some reg ->
+    let c name help = Metrics.counter reg name ~help in
+    t.metrics <-
+      Some
+        {
+          mreg = reg;
+          m_settles_serial =
+            Metrics.counter reg "settles_total" ~labels:[ ("mode", "serial") ]
+              ~help:"settle sessions";
+          m_settles_parallel =
+            Metrics.counter reg "settles_total"
+              ~labels:[ ("mode", "parallel") ] ~help:"settle sessions";
+          m_settle_steps = c "settle_steps_total" "inconsistent-set pops";
+          m_settle_seconds =
+            Metrics.histogram reg "settle_seconds"
+              ~help:"settle session duration";
+          m_exec_first =
+            Metrics.counter reg "executions_total"
+              ~labels:[ ("kind", "first") ] ~help:"instance executions";
+          m_exec_re =
+            Metrics.counter reg "executions_total" ~labels:[ ("kind", "re") ]
+              ~help:"instance executions";
+          m_hits = c "cache_hits_total" "calls answered from consistent cache";
+          m_cutoffs =
+            c "cutoffs_total" "re-executions that left the value unchanged";
+          m_quarantines = c "quarantines_total" "executions that raised";
+          m_poisonings = c "poisonings_total" "retry budgets exhausted";
+          m_retries = c "retries_total" "quarantined instances re-marked";
+          m_degradations =
+            c "degradations_total" "watchdog degradations to exhaustive";
+          m_rollbacks = c "rollbacks_total" "transactions rolled back";
+          m_par_levels = c "parallel_levels_total" "parallel level fronts";
+          m_par_tasks =
+            c "parallel_tasks_total" "eager executions dispatched to the pool";
+          m_pool = None;
+        }
+
+let metrics t = match t.metrics with None -> None | Some m -> Some m.mreg
 
 let default_strategy t = t.strategy0
 let partitioning t = t.use_partitions
@@ -724,6 +795,9 @@ let record_failure t node p (inst : instance) e =
     if inst.failures >= t.max_retries then begin
       inst.poison <- Some e;
       t.c_poisonings <- t.c_poisonings + 1;
+      (match t.metrics with
+      | None -> ()
+      | Some m -> Metrics.inc m.m_poisonings);
       t.quarantined <- List.filter (fun n -> not (n == node)) t.quarantined;
       Log.debug (fun m ->
           m "poisoned after %d failures: %s#%d" inst.failures p.name
@@ -735,6 +809,9 @@ let record_failure t node p (inst : instance) e =
     else begin
       if not (List.memq node t.quarantined) then
         t.quarantined <- node :: t.quarantined;
+      (match t.metrics with
+      | None -> ()
+      | Some m -> Metrics.inc m.m_quarantines);
       emit t (fun () ->
           Telemetry.Quarantined
             {
@@ -760,6 +837,9 @@ let requeue_quarantined t =
         match p.kind with
         | Instance inst when inst.poison = None && not p.discarded ->
           t.c_retries <- t.c_retries + 1;
+          (match t.metrics with
+          | None -> ()
+          | Some m -> Metrics.inc m.m_retries);
           emit t (fun () ->
               Telemetry.Retried
                 { id = G.id node; name = p.name; attempt = inst.failures });
@@ -904,6 +984,13 @@ let run_instance t node p inst =
   inst.failures <- 0;
   emit t (fun () ->
       Telemetry.Exec_end { id = G.id node; name = p.name; changed; ok = true });
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.inc (if inst.ever_ran then m.m_exec_re else m.m_exec_first);
+    (* an early cutoff: the re-execution produced the same value, so
+       propagation stops here (quiescence, paper §4.5) *)
+    if inst.ever_ran && not changed then Metrics.inc m.m_cutoffs);
   if buffered t c then c.b_execs <- c.b_execs + 1
   else t.c_executions <- t.c_executions + 1;
   Log.debug (fun m ->
@@ -1044,6 +1131,9 @@ let audit_step t =
    scratch — the exhaustive semantics, guaranteed to terminate. *)
 let degrade_to_exhaustive t =
   t.c_degradations <- t.c_degradations + 1;
+  (match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.inc m.m_degradations);
   emit t (fun () ->
       Telemetry.Degraded
         { steps = (match t.max_settle_steps with Some n -> n | None -> 0) });
@@ -1123,6 +1213,9 @@ let settle_partition t part =
                       Telemetry.Settle_pop { id = G.id node; name = p.name });
                   p.queued <- false;
                   t.c_steps <- t.c_steps + 1;
+                  (match t.metrics with
+                  | None -> ()
+                  | Some m -> Metrics.inc m.m_settle_steps);
                   if t.settle_fuel > 0 then t.settle_fuel <- t.settle_fuel - 1;
                   process_guarded t node p;
                   if t.self_audit then audit_step t
@@ -1133,7 +1226,7 @@ let settle_partition t part =
         if !skipped = [] then part.on_dirty_list <- false
   end
 
-let stabilize_serial t =
+let stabilize_serial_body t =
   requeue_quarantined t;
   (* A partition is popped off the dirty list only after its settle
      completed: if the settle raises, the partition keeps its place and
@@ -1160,6 +1253,20 @@ let stabilize_serial t =
         drain ()
     in
     drain ()
+
+(* Settle sessions with actual work are counted and timed; the common
+   already-quiescent stabilize (every [Var.set] triggers one) is not a
+   session and stays off the histogram. *)
+let stabilize_serial t =
+  match t.metrics with
+  | Some m when (not t.settling) && (t.dirty_parts <> [] || t.quarantined <> [])
+    ->
+    Metrics.inc m.m_settles_serial;
+    let t0 = Metrics.now () in
+    Fun.protect
+      ~finally:(fun () -> Metrics.observe_since m.m_settle_seconds t0)
+      (fun () -> stabilize_serial_body t)
+  | _ -> stabilize_serial_body t
 
 (* Preemptable evaluation (§4.5: "the evaluation routine should be called
    whenever cycles are available … and can be preempted when necessary"):
@@ -1209,6 +1316,9 @@ let settle_bounded t ~max_steps =
                              p.queued <- false;
                              decr budget;
                              t.c_steps <- t.c_steps + 1;
+                             (match t.metrics with
+                             | None -> ()
+                             | Some m -> Metrics.inc m.m_settle_steps);
                              if t.settle_fuel > 0 then
                                t.settle_fuel <- t.settle_fuel - 1;
                              process_guarded t node p;
@@ -1439,6 +1549,9 @@ let on_call_parallel t par node p inst =
   end;
   let hit () =
     c.b_hits <- c.b_hits + 1;
+    (match t.metrics with
+    | None -> ()
+    | Some m -> Metrics.inc m.m_hits);
     emit t (fun () -> Telemetry.Cache_hit { id = G.id node; name = p.name })
   in
   if dirty p then begin
@@ -1530,6 +1643,13 @@ let exec_task t par pt () =
             Telemetry.Exec_end
               { id = G.id node; name = p.name; changed; ok = true });
         c.b_execs <- c.b_execs + 1;
+        (* metrics cells are atomics, so worker lanes update them
+           directly rather than buffering for the barrier merge *)
+        (match t.metrics with
+        | None -> ()
+        | Some m ->
+          Metrics.inc (if inst.ever_ran then m.m_exec_re else m.m_exec_first);
+          if inst.ever_ran && not changed then Metrics.inc m.m_cutoffs);
         if not inst.ever_ran then begin
           c.b_first <- c.b_first + 1;
           inst.ever_ran <- true
@@ -1773,6 +1893,9 @@ let run_level t par ~level queued =
       emit t (fun () -> Telemetry.Settle_pop { id = G.id node; name = p.name });
       p.queued <- false;
       t.c_steps <- t.c_steps + 1;
+      (match t.metrics with
+      | None -> ()
+      | Some m -> Metrics.inc m.m_settle_steps);
       if t.settle_fuel > 0 then t.settle_fuel <- t.settle_fuel - 1;
       match p.kind with
       | Storage -> process_guarded t node p
@@ -1804,6 +1927,11 @@ let run_level t par ~level queued =
   let ntasks = List.length tasks in
   t.c_par_levels <- t.c_par_levels + 1;
   t.c_par_tasks <- t.c_par_tasks + ntasks;
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.inc m.m_par_levels;
+    Metrics.add m.m_par_tasks ntasks);
   emit t (fun () ->
       Telemetry.Par_level_begin
         {
@@ -1819,7 +1947,14 @@ let run_level t par ~level queued =
     par.ids.(0) <- (self_id (), par.lanes.(0));
     Fun.protect
       ~finally:(fun () -> par.ids.(0) <- (-1, t.ctx0))
-      (fun () -> Pool.run par.pool (List.map (fun pt -> exec_task t par pt) tasks));
+      (fun () ->
+        let cells =
+          match t.metrics with
+          | Some { m_pool = Some (_, c); _ } -> Some c
+          | _ -> None
+        in
+        Pool.run ?cells par.pool
+          (List.map (fun pt -> exec_task t par pt) tasks));
     merge_barrier t par ~level
   end
   else
@@ -1851,6 +1986,17 @@ let settle_parallel t ~domains =
       t.settling <- true;
       t.settle_fuel <-
         (match t.max_settle_steps with Some n -> n | None -> -1);
+      let t0 =
+        match t.metrics with
+        | None -> 0.
+        | Some m ->
+          Metrics.inc m.m_settles_parallel;
+          (* per-lane pool cells, sized for this settle's lane count *)
+          (match m.m_pool with
+          | Some (l, _) when l = domains -> ()
+          | _ -> m.m_pool <- Some (domains, Pool.make_cells m.mreg ~lanes:domains));
+          Metrics.now ()
+      in
       let pool = ensure_pool t ~domains in
       let lanes = Array.init domains fresh_ctx in
       let ids = Array.make (max domains 1) (-1, t.ctx0) in
@@ -1875,7 +2021,10 @@ let settle_parallel t ~domains =
       t.par <- Some par;
       let finally () =
         t.par <- None;
-        t.settling <- false
+        t.settling <- false;
+        match t.metrics with
+        | None -> ()
+        | Some m -> Metrics.observe_since m.m_settle_seconds t0
       in
       Fun.protect ~finally @@ fun () ->
         let level = ref 0 in
@@ -1937,6 +2086,9 @@ let rollback_txn t tx =
         end)
       tx.ran;
     t.c_rollbacks <- t.c_rollbacks + 1;
+    (match t.metrics with
+    | None -> ()
+    | Some m -> Metrics.inc m.m_rollbacks);
     emit t (fun () ->
         Telemetry.Txn_rollback { undone; remarked = !remarked })
 
@@ -2034,6 +2186,9 @@ let on_call t node =
       end;
       if (not !executed) && inst.ever_ran then begin
         t.c_hits <- t.c_hits + 1;
+        (match t.metrics with
+        | None -> ()
+        | Some m -> Metrics.inc m.m_hits);
         emit t (fun () ->
             Telemetry.Cache_hit { id = G.id node; name = p.name })
       end;

@@ -84,16 +84,29 @@ let total counts = List.fold_left (fun acc (_, n) -> acc + n) 0 counts
    [n]-th poke (1-based; pokes of other sites don't count when [only] is
    given), exactly once. Returns a flag telling whether it ever fired —
    a sweep uses it to know when it has walked past the end of a run. *)
+(* Injection counters resolve from the engine's registry at arm time —
+   once per injector, never per poke. The engine's own poke site stays
+   uninstrumented so a fired fault is counted exactly once, here. *)
+let injection_counter eng =
+  match Engine.metrics eng with
+  | None -> None
+  | Some reg ->
+    Some
+      (Metrics.counter reg "fault_injections_total"
+         ~help:"faults fired by the seeded/counted injectors")
+
 let inject_nth eng ?only n =
   if n < 1 then invalid_arg "Faults.inject_nth";
   let seen = ref 0 in
   let fired = ref false in
+  let cell = injection_counter eng in
   let hook site =
     if (not !fired) && (match only with None -> true | Some s -> s = site)
     then begin
       incr seen;
       if !seen = n then begin
         fired := true;
+        (match cell with None -> () | Some c -> Metrics.inc c);
         raise (Injected site)
       end
     end
@@ -128,12 +141,14 @@ let install_seeded eng ~seed ?(rate = 0.01) ?max_faults () =
     invalid_arg "Faults.install_seeded: rate must be in [0, 1]";
   let state = ref (Int64.of_int seed) in
   let fired = ref 0 in
+  let cell = injection_counter eng in
   let hook site =
     let budget_left =
       match max_faults with None -> true | Some m -> !fired < m
     in
     if budget_left && uniform state < rate then begin
       incr fired;
+      (match cell with None -> () | Some c -> Metrics.inc c);
       raise (Injected site)
     end
   in

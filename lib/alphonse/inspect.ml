@@ -221,6 +221,43 @@ let heat_of_profile (profiles : Telemetry.instance_profile list) =
     profiles;
   fun id -> Hashtbl.find_opt tbl id
 
+(** Settle-latency quantiles of one instance profile: (p50, p90, p99)
+    seconds, estimated from the decade-bucket latency histogram by the
+    same geometric interpolation {!Metrics} uses for its exposition
+    histograms ([Metrics.quantile] against [Telemetry.bucket_bounds]) —
+    a scrape of [alphonse_settle_seconds] and [alphonsec profile]
+    report the same numbers. [nan]s when the instance never completed a
+    mark-to-execution cycle in the recorded window. *)
+let latency_quantiles (p : Telemetry.instance_profile) =
+  Metrics.quantiles ~counts:p.latency ~bounds:Telemetry.bucket_bounds
+
+let pp_quantile ppf q =
+  if Float.is_nan q then Fmt.string ppf "     -"
+  else if q < 1e-3 then Fmt.pf ppf "%4.0fus" (q *. 1e6)
+  else if q < 1. then Fmt.pf ppf "%4.1fms" (q *. 1e3)
+  else Fmt.pf ppf "%5.2fs" q
+
+(** {!Telemetry.pp_profile} extended with estimated p50/p90/p99
+    settle-latency columns (what [alphonsec profile --top] prints). *)
+let pp_profile_quantiles ?top ppf (profiles : Telemetry.instance_profile list)
+    =
+  let profiles =
+    match top with
+    | Some n -> List.filteri (fun i _ -> i < n) profiles
+    | None -> profiles
+  in
+  Fmt.pf ppf "@[<v>%-28s %6s %6s %6s %10s %10s %6s %6s %6s@,"
+    "instance" "execs" "re-ex" "marks" "self" "total" "p50" "p90" "p99";
+  List.iter
+    (fun (p : Telemetry.instance_profile) ->
+      let p50, p90, p99 = latency_quantiles p in
+      Fmt.pf ppf "%-28s %6d %6d %6d %8.2fms %8.2fms %a %a %a@,"
+        (Fmt.str "%s#%d" p.name p.id)
+        p.executions p.re_executions p.marks (p.self_time *. 1e3)
+        (p.total_time *. 1e3) pp_quantile p50 pp_quantile p90 pp_quantile p99)
+    profiles;
+  Fmt.pf ppf "@]"
+
 (** [find_instance eng name] resolves an instance node by payload name
     (for provenance queries addressed by name from the CLI); when several
     instances share the name — e.g. every entry of one argument table —

@@ -7,6 +7,31 @@
    array swap race-free (the array is published under the same mutex
    that publishes the round increment). *)
 
+(* Per-round metrics cells. A pool can be shared by several engines
+   (see [shared] below), so the cells travel with the round — passed to
+   [run] by the caller whose settle this is — rather than living on the
+   pool: one engine's registry never absorbs another engine's work. *)
+type cells = {
+  pc_tasks : Metrics.counter array; (* claimed tasks, by lane *)
+  pc_steals : Metrics.counter; (* tasks claimed by a non-caller lane *)
+  pc_wait : Metrics.histogram; (* caller's barrier wait per round *)
+}
+
+let make_cells reg ~lanes =
+  {
+    pc_tasks =
+      Array.init lanes (fun i ->
+          Metrics.counter reg "pool_tasks_total"
+            ~labels:[ ("lane", string_of_int i) ]
+            ~help:"tasks claimed from the shared queue, by pool lane");
+    pc_steals =
+      Metrics.counter reg "pool_steals_total"
+        ~help:"tasks claimed by a worker lane (not the calling domain)";
+    pc_wait =
+      Metrics.histogram reg "pool_barrier_wait_seconds"
+        ~help:"caller wait at the round barrier after its own lane drained";
+  }
+
 type t = {
   n_lanes : int;
   run_m : Mutex.t; (* serializes whole rounds (shared pools) *)
@@ -18,13 +43,14 @@ type t = {
   mutable next : int; (* first unclaimed task index *)
   mutable completed : int;
   mutable stop : bool;
+  mutable cells : cells option; (* the active round's cells *)
   mutable workers : unit Domain.t list; (* lane order *)
   mutable wids : int list; (* domain ids, lane order *)
 }
 
 (* Claim-and-run loop shared by workers and the caller.  Entered and
-   left with [p.m] held. *)
-let drain p =
+   left with [p.m] held. [lane] is 0 for the caller, 1.. for workers. *)
+let drain p lane =
   let len = Array.length p.tasks in
   while p.next < len do
     let i = p.next in
@@ -32,11 +58,16 @@ let drain p =
     Mutex.unlock p.m;
     (try p.tasks.(i) () with _ -> ());
     Mutex.lock p.m;
+    (match p.cells with
+    | None -> ()
+    | Some c ->
+      if lane < Array.length c.pc_tasks then Metrics.inc c.pc_tasks.(lane);
+      if lane > 0 then Metrics.inc c.pc_steals);
     p.completed <- p.completed + 1;
     if p.completed = len then Condition.broadcast p.done_cv
   done
 
-let worker_body p () =
+let worker_body p lane () =
   let seen = ref 0 in
   Mutex.lock p.m;
   let rec loop () =
@@ -47,7 +78,7 @@ let worker_body p () =
     end
     else begin
       seen := p.round;
-      drain p;
+      drain p lane;
       loop ()
     end
   in
@@ -67,11 +98,14 @@ let create ~lanes =
       next = 0;
       completed = 0;
       stop = false;
+      cells = None;
       workers = [];
       wids = [];
     }
   in
-  let workers = List.init (lanes - 1) (fun _ -> Domain.spawn (worker_body p)) in
+  let workers =
+    List.init (lanes - 1) (fun i -> Domain.spawn (worker_body p (i + 1)))
+  in
   p.workers <- workers;
   p.wids <- List.map (fun d -> (Domain.get_id d :> int)) workers;
   p
@@ -79,7 +113,7 @@ let create ~lanes =
 let lanes p = p.n_lanes
 let worker_ids p = p.wids
 
-let run p task_list =
+let run ?cells p task_list =
   match task_list with
   | [] -> ()
   | _ ->
@@ -90,15 +124,27 @@ let run p task_list =
     Fun.protect ~finally @@ fun () ->
     let tasks = Array.of_list task_list in
     Mutex.lock p.m;
+    p.cells <- cells;
     p.tasks <- tasks;
     p.next <- 0;
     p.completed <- 0;
     p.round <- p.round + 1;
     Condition.broadcast p.work_cv;
-    drain p;
+    drain p 0;
+    (* the caller's lane is dry; what remains is barrier wait for the
+       worker lanes still running claimed tasks *)
+    let t0 =
+      match cells with
+      | None -> 0.
+      | Some _ -> if p.completed < Array.length tasks then Metrics.now () else 0.
+    in
     while p.completed < Array.length tasks do
       Condition.wait p.done_cv p.m
     done;
+    (match cells with
+    | Some c when t0 > 0. -> Metrics.observe_since c.pc_wait t0
+    | _ -> ());
+    p.cells <- None;
     p.tasks <- [||];
     Mutex.unlock p.m
 

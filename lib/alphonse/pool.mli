@@ -39,11 +39,25 @@ val worker_ids : t -> int list
     engine uses these to route each worker domain to its write
     buffer. *)
 
-val run : t -> (unit -> unit) list -> unit
+type cells
+(** Metrics cells for one owner's rounds: per-lane task counters
+    ([pool_tasks_total{lane=...}]), a steal counter
+    ([pool_steals_total] — tasks claimed by a worker lane rather than
+    the calling domain) and the caller's barrier-wait histogram
+    ([pool_barrier_wait_seconds]). Cells are passed per {!run} round
+    rather than attached to the pool, because {!shared} pools serve
+    several engines: the round's owner decides where its work is
+    counted. *)
+
+val make_cells : Metrics.t -> lanes:int -> cells
+
+val run : ?cells:cells -> t -> (unit -> unit) list -> unit
 (** Execute the tasks to completion, work-stealing style: idle lanes
     (including the caller) repeatedly grab the next unstarted task.
     Returns when all tasks have finished.  Exceptions escaping a task
-    are discarded. *)
+    are discarded.  [cells] counts this round's per-lane work; the wait
+    histogram records only rounds where the caller actually blocked at
+    the barrier after draining its own lane. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  The pool must not be used

@@ -1,0 +1,140 @@
+(* Minimal HTTP/1.0 exposition endpoint over plain [Unix] sockets — no
+   web framework in the image, and none needed: a metrics scrape is one
+   GET, one response, connection closed. This is deliberately NOT a
+   general web server: GET only, no keep-alive, no chunking, request
+   line + headers capped at 8 KiB, one connection served at a time
+   (scrapes are serial and sub-millisecond; a stuck client can delay
+   the next scrape but not wedge the process, thanks to a socket
+   timeout). *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; version=0.0.4; charset=utf-8"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  routes : (string * (unit -> response)) list;
+  mutable closed : bool;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Response"
+
+let create ?(host = "127.0.0.1") ~port routes =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { sock; port; routes; closed = false }
+
+let port s = s.port
+
+(* Read until the end of the header block (we ignore bodies: GET only).
+   Bounded: a client streaming garbage is cut off at 8 KiB. *)
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf <= 8192 then
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* tolerate bare-LF clients *)
+        if not (contains_substring s "\r\n\r\n" || contains_substring s "\n\n")
+        then go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception _ -> ()
+  in
+  go 0
+
+let respond fd { status; content_type; body } =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       status (reason status) content_type (String.length body) body)
+
+let handle s fd =
+  let req = read_request fd in
+  let resp =
+    match String.index_opt req '\n' with
+    | None -> text ~status:405 "bad request\n"
+    | Some nl -> (
+      let line = String.trim (String.sub req 0 nl) in
+      match String.split_on_char ' ' line with
+      | "GET" :: target :: _ -> (
+        (* strip any query string: routes are bare paths *)
+        let path =
+          match String.index_opt target '?' with
+          | None -> target
+          | Some q -> String.sub target 0 q
+        in
+        match List.assoc_opt path s.routes with
+        | Some f -> ( try f () with _ -> text ~status:503 "handler failed\n")
+        | None -> text ~status:404 "not found\n")
+      | _ -> text ~status:405 "method not allowed\n")
+  in
+  respond fd resp
+
+let serve_one s =
+  let fd, _ = Unix.accept s.sock in
+  (* a stalled client must not wedge the scrape loop *)
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+   with _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () -> try handle s fd with _ -> ())
+
+let serve ~max_requests s =
+  for _ = 1 to max_requests do
+    if not s.closed then serve_one s
+  done
+
+let serve_forever s =
+  while not s.closed do
+    serve_one s
+  done
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    try Unix.close s.sock with _ -> ()
+  end

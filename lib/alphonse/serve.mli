@@ -1,0 +1,43 @@
+(** Minimal HTTP/1.0 exposition endpoint over plain [Unix] sockets.
+
+    Serves a fixed route table — typically [/metrics] (Prometheus
+    text), [/metrics.json], [/healthz] and [/readyz] — to scrapers and
+    probes. Deliberately not a general web server: GET only (405
+    otherwise), no keep-alive, one connection at a time, 8 KiB request
+    cap, 5 s socket timeouts so a stalled client cannot wedge the
+    scrape loop. Handlers run per request, so a [/metrics] handler
+    rendering {!Metrics.to_prometheus} always serves current values. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** Plain-text response (content type
+    [text/plain; version=0.0.4; charset=utf-8] — the Prometheus
+    exposition type). Default status 200. *)
+
+val json : ?status:int -> string -> response
+(** [application/json] response. Default status 200. *)
+
+type t
+
+val create :
+  ?host:string -> port:int -> (string * (unit -> response)) list -> t
+(** [create ~port routes] binds and listens (default host
+    [127.0.0.1]). [port = 0] picks a free port — read it back with
+    {!port} (tests do this to avoid collisions). Routes map bare paths
+    (query strings are stripped) to handlers; a handler that raises
+    answers 503, an unknown path 404. *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val serve : max_requests:int -> t -> unit
+(** Accept and answer exactly [max_requests] connections, then return.
+    Used by tests and by [alphonsec serve --max-requests]. *)
+
+val serve_forever : t -> unit
+(** Accept loop until {!close} is called from another thread/domain (or
+    the process dies). *)
+
+val close : t -> unit
+(** Stop accepting and release the socket. Idempotent. *)

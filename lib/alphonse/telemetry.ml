@@ -82,6 +82,7 @@ type t = {
   capacity : int;
   mutable next_seq : int; (* total events ever emitted *)
   mutable sink : sink option;
+  mutable drop_counter : Metrics.counter option;
   t0 : float;
 }
 
@@ -94,13 +95,31 @@ let create ?(capacity = default_capacity) () =
     capacity;
     next_seq = 0;
     sink = None;
+    drop_counter = None;
     t0 = Unix.gettimeofday ();
   }
 
 let now t = Unix.gettimeofday () -. t.t0
 
+let set_metrics t = function
+  | None -> t.drop_counter <- None
+  | Some reg ->
+    t.drop_counter <-
+      Some
+        (Metrics.counter reg "telemetry_dropped_total"
+           ~help:"events overwritten in the bounded telemetry ring")
+
+(* Each emit into a full ring overwrites its oldest record: that is the
+   bounded-buffer contract, but the loss must never be silent — it is
+   counted (see [dropped]) and, when a registry is attached, surfaced
+   as a metric the moment it happens. *)
+let count_drop t =
+  if t.next_seq >= t.capacity then
+    match t.drop_counter with None -> () | Some c -> Metrics.inc c
+
 let emit t ev =
   let r = { seq = t.next_seq; at = now t; ev } in
+  count_drop t;
   t.ring.(t.next_seq mod t.capacity) <- Some r;
   t.next_seq <- t.next_seq + 1;
   match t.sink with None -> () | Some f -> f r
@@ -110,11 +129,13 @@ let emit t ev =
    flush time. The sequence number still reflects flush order. *)
 let emit_at t ~at ev =
   let r = { seq = t.next_seq; at; ev } in
+  count_drop t;
   t.ring.(t.next_seq mod t.capacity) <- Some r;
   t.next_seq <- t.next_seq + 1;
   match t.sink with None -> () | Some f -> f r
 
 let set_sink t sink = t.sink <- sink
+let sink t = t.sink
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
@@ -207,7 +228,7 @@ let pp_record ppf r = Fmt.pf ppf "[%06d %.6fs] %a" r.seq r.at pp_event r.ev
 
 let us at = Json.Num (Float.round (at *. 1e6))
 
-let trace_records records =
+let trace_records ?(meta = []) records =
   let ev r =
     let common ph name cat args =
       Json.Obj
@@ -379,10 +400,21 @@ let trace_records records =
       ("traceEvents", Json.Arr (List.rev_append !out closing));
       ("displayTimeUnit", Json.Str "ms");
       ( "otherData",
-        Json.Obj [ ("producer", Json.Str "alphonse-telemetry/1") ] );
+        Json.Obj (("producer", Json.Str "alphonse-telemetry/1") :: meta) );
     ]
 
-let to_chrome_trace t = Json.to_string (trace_records (events t))
+(* The export declares its own incompleteness: a ring that overwrote
+   events says so in [otherData] rather than presenting the surviving
+   window as the whole session. *)
+let to_chrome_trace t =
+  let meta =
+    [
+      ("droppedEvents", Json.Num (float_of_int (dropped t)));
+      ("totalEmitted", Json.Num (float_of_int (total_emitted t)));
+      ("ringCapacity", Json.Num (float_of_int t.capacity));
+    ]
+  in
+  Json.to_string (trace_records ~meta (events t))
 
 (* ------------------------------------------------------------------ *)
 (* Per-instance profiles                                               *)
@@ -393,6 +425,10 @@ let to_chrome_trace t = Json.to_string (trace_records (events t))
 let latency_buckets = 7
 let bucket_labels =
   [| "<1us"; "<10us"; "<100us"; "<1ms"; "<10ms"; "<100ms"; ">=100ms" |]
+
+(* upper bounds of the buckets above, [Metrics.quantile] convention:
+   counts.(i) holds the latencies below bucket_bounds.(i) *)
+let bucket_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; infinity |]
 
 let bucket_of_latency l =
   let rec go b threshold =

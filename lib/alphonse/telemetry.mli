@@ -114,6 +114,16 @@ val now : t -> float
 val set_sink : t -> sink option -> unit
 (** Streams every subsequent event to [sink] in addition to the ring. *)
 
+val sink : t -> sink option
+(** The currently installed sink — lets a wrapper ({!Flight.arm})
+    chain onto an existing stream instead of replacing it. *)
+
+val set_metrics : t -> Metrics.t option -> unit
+(** Counts ring overwrites into the registry's
+    [telemetry_dropped_total] counter as they happen, so bounded-buffer
+    loss is visible on a metrics scrape and not only post-hoc via
+    {!dropped}. *)
+
 val events : t -> record list
 (** The ring contents, oldest first. *)
 
@@ -138,7 +148,9 @@ val to_chrome_trace : t -> string
     format"): executions are duration events on one thread (nested
     re-executions render as a flame graph), everything else instant
     events with the structured payload under ["args"]. Open the file in
-    Perfetto or chrome://tracing. *)
+    Perfetto or chrome://tracing. The ["otherData"] section carries
+    [droppedEvents]/[totalEmitted]/[ringCapacity], so a truncated
+    window declares its own incompleteness. *)
 
 (** {1 Per-instance profiles} *)
 
@@ -158,6 +170,11 @@ type instance_profile = {
 
 val latency_buckets : int
 val bucket_labels : string array
+
+val bucket_bounds : float array
+(** Upper bounds of the settle-latency buckets (seconds, last
+    [infinity]), in the convention [Metrics.quantile] expects:
+    [latency.(i)] counts the observations below [bucket_bounds.(i)]. *)
 
 val profile : t -> instance_profile list
 (** Folds the recorded window into per-instance profiles, hottest

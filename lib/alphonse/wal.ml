@@ -122,6 +122,15 @@ let rec mkdir_p dir =
 
 let default_segment_limit = 1 lsl 20
 
+(* Metrics cells, resolved once at [set_metrics]: append/rotation
+   counters and the fsync-latency histogram. The fsync is timed only
+   when a registry is attached — the disabled path stays one branch. *)
+type wcells = {
+  w_appends : Metrics.counter;
+  w_fsyncs : Metrics.histogram;
+  w_rotations : Metrics.counter;
+}
+
 type t = {
   dir : string;
   policy : policy;
@@ -133,6 +142,7 @@ type t = {
   mutable closed : bool;
   mutable kill_hook : (string -> unit) option;
   mutable on_rotate : (int -> unit) option;
+  mutable metrics : wcells option;
 }
 
 let kill_sites = [ "wal-append"; "wal-torn"; "wal-sync"; "wal-rotate" ]
@@ -165,7 +175,25 @@ let open_ ?(policy = Commit) ?(segment_limit = default_segment_limit) dir =
     closed = false;
     kill_hook = None;
     on_rotate = None;
+    metrics = None;
   }
+
+let set_metrics w = function
+  | None -> w.metrics <- None
+  | Some reg ->
+    w.metrics <-
+      Some
+        {
+          w_appends =
+            Metrics.counter reg "wal_appends_total"
+              ~help:"frames appended to the write-ahead journal";
+          w_fsyncs =
+            Metrics.histogram reg "wal_fsync_seconds"
+              ~help:"latency of journal fsync calls";
+          w_rotations =
+            Metrics.counter reg "wal_rotations_total"
+              ~help:"journal segment rotations";
+        }
 
 let fsync_channel oc =
   flush oc;
@@ -174,10 +202,18 @@ let fsync_channel oc =
 let sync w =
   if w.closed then invalid_arg "Wal.sync: closed";
   poke w "wal-sync";
-  fsync_channel w.oc
+  match w.metrics with
+  | None -> fsync_channel w.oc
+  | Some c ->
+    let t0 = Metrics.now () in
+    fsync_channel w.oc;
+    Metrics.observe_since c.w_fsyncs t0
 
 let rotate w =
   if w.closed then invalid_arg "Wal.rotate: closed";
+  (match w.metrics with
+  | None -> ()
+  | Some c -> Metrics.inc c.w_rotations);
   poke w "wal-rotate";
   fsync_channel w.oc;
   close_out w.oc;
@@ -210,6 +246,7 @@ let append ?sync:(do_sync = false) w json =
   flush w.oc;
   w.seg_bytes <- w.seg_bytes + String.length fr;
   w.appended <- w.appended + 1;
+  (match w.metrics with None -> () | Some c -> Metrics.inc c.w_appends);
   if w.policy = Always || (do_sync && w.policy <> Never) then sync w
 
 let close w =

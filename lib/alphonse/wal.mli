@@ -73,6 +73,13 @@ val set_kill_hook : t -> (string -> unit) option -> unit
 val set_on_rotate : t -> (int -> unit) option -> unit
 (** Notification when rotation opens a new segment (telemetry). *)
 
+val set_metrics : t -> Metrics.t option -> unit
+(** Count appends and rotations, and time fsyncs, into a registry
+    ([wal_appends_total], [wal_rotations_total], [wal_fsync_seconds]).
+    [None] (the default) detaches; the disabled path costs one branch
+    per operation. {!Durable.attach} wires this automatically from the
+    engine's registry. *)
+
 (** {1 Replay} *)
 
 type break = {

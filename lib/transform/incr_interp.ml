@@ -429,8 +429,8 @@ type outcome = {
   graph_stats : Depgraph.Graph.stats;
 }
 
-let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
-    ?audit ?domains (env : Tc.env) (analysis : Analysis.result) =
+let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?metrics
+    ?fault_seed ?audit ?domains (env : Tc.env) (analysis : Analysis.result) =
   (* [domains]: settle with the level-synchronized parallel evaluator on
      that many lanes (1 = parallel machinery, caller's lane only) *)
   let scheduling =
@@ -441,6 +441,12 @@ let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
       ?self_audit:audit ()
   in
   Engine.set_telemetry eng telemetry;
+  (* metrics before the fault injector: injectors resolve their counter
+     from the engine's registry at install time *)
+  Engine.set_metrics eng metrics;
+  (match (telemetry, metrics) with
+  | Some tm, Some _ -> Alphonse.Telemetry.set_metrics tm metrics
+  | _ -> ());
   (match fault_seed with
   | Some seed -> ignore (Alphonse.Faults.install_seeded eng ~seed ())
   | None -> ());
@@ -474,12 +480,12 @@ let init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
   st
 
 (** Run the module body under Alphonse execution. *)
-let run ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed ?audit
-    ?domains (env : Tc.env) : outcome =
+let run ?fuel ?default_strategy ?partitioning ?telemetry ?metrics ?fault_seed
+    ?audit ?domains (env : Tc.env) : outcome =
   let analysis = Analysis.analyze env in
   match
-    init_state ?fuel ?default_strategy ?partitioning ?telemetry ?fault_seed
-      ?audit ?domains env analysis
+    init_state ?fuel ?default_strategy ?partitioning ?telemetry ?metrics
+      ?fault_seed ?audit ?domains env analysis
   with
   | exception Runtime_error (msg, p) ->
     {

@@ -34,6 +34,7 @@ val run :
   ?default_strategy:Alphonse.Engine.strategy ->
   ?partitioning:bool ->
   ?telemetry:Alphonse.Telemetry.t ->
+  ?metrics:Alphonse.Metrics.t ->
   ?fault_seed:int ->
   ?audit:bool ->
   ?domains:int ->
@@ -43,7 +44,10 @@ val run :
     first). Theorem 5.1: [output] equals the conventional
     [Lang.Interp.run] output. [telemetry] attaches a structured recorder
     to the engine for the whole run (Chrome-trace export, profiles,
-    provenance — see {!Alphonse.Telemetry}).
+    provenance — see {!Alphonse.Telemetry}). [metrics] attaches a
+    metrics registry ({!Alphonse.Metrics}) to the engine — and, when a
+    recorder is also given, to it (ring-overflow counting) — before any
+    instrumented work runs.
 
     [fault_seed] installs a seeded fault injector
     ({!Alphonse.Faults.install_seeded}) for the whole run: engine
@@ -65,6 +69,7 @@ val init_state :
   ?default_strategy:Alphonse.Engine.strategy ->
   ?partitioning:bool ->
   ?telemetry:Alphonse.Telemetry.t ->
+  ?metrics:Alphonse.Metrics.t ->
   ?fault_seed:int ->
   ?audit:bool ->
   ?domains:int ->

@@ -104,7 +104,7 @@ re-execution time went:
 
   $ alphonsec profile sums_maintained | head -2
   == per-instance profile: hottest first ==
-  instance                      execs  re-ex  marks       self      total  settle latency
+  instance                      execs  re-ex  marks       self      total    p50    p90    p99
 
   $ alphonsec profile sums_maintained --dot | head -2
   digraph alphonse {
@@ -122,6 +122,37 @@ The provenance query names the mutated cell behind a re-execution
   $ alphonsec profile sums_maintained --why NoSuch
   no recorded execution of "NoSuch" (is it an instance name? try --dot to see them)
   [1]
+
+Production observability: the metrics subcommand replays the module
+under an attached registry and dumps the engine's counters in
+Prometheus text (or --json). The counters are deterministic for a
+deterministic program:
+
+  $ alphonsec metrics sums_maintained 2>/dev/null | grep -A 3 'HELP alphonse_executions_total'
+  # HELP alphonse_executions_total instance executions
+  # TYPE alphonse_executions_total counter
+  alphonse_executions_total{kind="first"} 1
+  alphonse_executions_total{kind="re"} 1
+
+  $ alphonsec metrics sums_maintained 2>/dev/null | grep '^alphonse_cache_hits_total'
+  alphonse_cache_hits_total 1
+
+  $ alphonsec metrics sums_maintained --json 2>/dev/null | cut -c1-31
+  {"schema":"alphonse-metrics/1",
+
+Every run keeps a flight recorder armed: a quarantine (here injected
+with --fault-seed) writes a timestamped incident report and prints a
+notice on stderr (stamps scrubbed for reproducibility):
+
+  $ rm -rf incidents
+  $ alphonsec run sums_maintained --fault-seed 10 2>&1 >/dev/null | grep incident | sed -E 's/[0-9]{8}T[0-9]{6}-[0-9]{3}/STAMP/'
+  [incident report: incidents/incident-STAMP.json]
+
+  $ cut -c1-32 incidents/incident-*.json
+  {"schema":"alphonse-incident/1",
+
+  $ grep -oh '"kind":"quarantine"' incidents/incident-*.json
+  "kind":"quarantine"
 
 The full analysis report: listings are sorted, --effects adds each
 procedure's transitive may-read/may-write summary, and the

@@ -82,7 +82,7 @@ let () =
   let names =
     List.filter_map (fun e -> Option.bind (member "name" e) to_str) exps
   in
-  let required = [ "E16"; "E17"; "E18"; "E19" ] in
+  let required = [ "E16"; "E17"; "E18"; "E19"; "E20" ] in
   let missing =
     List.filter
       (fun r ->
@@ -159,4 +159,59 @@ let () =
       "%s: E19 shows no workload with >= 2x speedup over serial settle at 4 \
        domains"
       file;
+  (* E20 carries the observability bargain: attaching a metrics registry
+     and then disabling it must cost nothing — the disabled path is a
+     single never-taken branch per instrumentation site. Gate every
+     config=disabled row at <= 1.05x overhead versus the never-attached
+     baseline, and make sure both configs actually appear (a bench edit
+     that drops the enabled rows would hide a regression in the
+     instrumented path's plausibility). *)
+  let e20 =
+    get "E20 experiment"
+      (List.find_opt
+         (fun e -> Option.bind (member "name" e) to_str = Some "E20")
+         exps)
+  in
+  let tables = get "E20 tables" (Option.bind (member "tables" e20) to_list) in
+  let disabled_rows = ref 0 and enabled_rows = ref 0 in
+  List.iter
+    (fun t ->
+      let headers =
+        List.filter_map to_str
+          (get "E20 headers" (Option.bind (member "headers" t) to_list))
+      in
+      let idx name =
+        let rec go i = function
+          | [] -> fail "%s: E20 table lacks a %S column" file name
+          | h :: _ when h = name -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 headers
+      in
+      let ci = idx "config" and oi = idx "overhead" and mi = idx "mode" in
+      let rows = get "E20 rows" (Option.bind (member "rows" t) to_list) in
+      List.iter
+        (fun row ->
+          let cells = List.filter_map to_str (get "E20 row" (to_list row)) in
+          let cell i = List.nth cells i in
+          match cell ci with
+          | "disabled" -> (
+            incr disabled_rows;
+            match speedup_of (cell oi) with
+            | Some f when f <= 1.05 -> ()
+            | Some f ->
+              fail
+                "%s: E20 disabled-metrics overhead %.2fx exceeds the 1.05x \
+                 budget (%s, %s)"
+                file f (cell mi) (cell ci)
+            | None ->
+              fail "%s: E20 overhead cell %S is not a number" file (cell oi))
+          | "enabled" -> incr enabled_rows
+          | _ -> ())
+        rows)
+    tables;
+  if !disabled_rows = 0 then
+    fail "%s: E20 present but has no config=disabled rows" file;
+  if !enabled_rows = 0 then
+    fail "%s: E20 present but has no config=enabled rows" file;
   Printf.printf "%s OK: %d experiment(s)\n" file (List.length exps)
