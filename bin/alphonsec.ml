@@ -16,7 +16,9 @@
      sheet      run a durable spreadsheet edit script (WAL + snapshots)
      recover    recover a durable state directory and report
      metrics    run a module and dump the metrics registry (Prometheus/JSON)
-     serve      HTTP exposition: /metrics /metrics.json /healthz /readyz *)
+     serve      HTTP exposition: /metrics /metrics.json /healthz /readyz
+     daemon     alphonsed: multi-tenant NDJSON daemon (one sheet per tenant)
+     call       send NDJSON request lines to a running daemon *)
 
 module P = Lang.Parser
 module Tc = Lang.Typecheck
@@ -32,6 +34,7 @@ module Inspect = Alphonse.Inspect
 module Metrics = Alphonse.Metrics
 module Flight = Alphonse.Flight
 module Serve = Alphonse.Serve
+module Daemon = Alphonse.Daemon
 open Cmdliner
 
 let read_source path =
@@ -895,6 +898,166 @@ let recover_cmd =
   let doc = "Recover a durable spreadsheet state directory and report" in
   Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ dir_arg $ render_arg)
 
+
+(* ---------------- the daemon ---------------- *)
+
+let daemon_cmd =
+  let run port metrics_port state ephemeral wal max_tenants tenant_queue
+      global_queue max_settles deadline_ms =
+    let reg = Metrics.create () in
+    let base = Daemon.default_config ~root:state () in
+    let cfg =
+      {
+        base with
+        Daemon.d_port = port;
+        d_metrics_port = metrics_port;
+        d_durable = not ephemeral;
+        d_wal_policy = wal;
+        d_max_tenants = max_tenants;
+        d_tenant_queue = tenant_queue;
+        d_global_queue = global_queue;
+        d_max_settles = max_settles;
+        d_default_deadline =
+          (if deadline_ms <= 0. then None else Some (deadline_ms /. 1000.));
+      }
+    in
+    let d = Daemon.create ~metrics:reg cfg (Sheet.workload ()) in
+    Daemon.install_signal_handlers d;
+    Fmt.epr "[alphonsed: ndjson on 127.0.0.1:%d, state %s%s]@." (Daemon.port d)
+      state
+      (match Daemon.metrics_port d with
+      | Some p -> Fmt.str ", http on 127.0.0.1:%d" p
+      | None -> "");
+    Daemon.run d;
+    Fmt.epr "[alphonsed: drained]@.";
+    0
+  in
+  let port_arg =
+    let doc = "NDJSON protocol port (0 picks a free one; printed to stderr)." in
+    Arg.(value & opt int 7465 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let metrics_port_arg =
+    let doc =
+      "Also serve /metrics /metrics.json /healthz /readyz /tenantz over \
+       HTTP on $(docv) (0 picks a free one). Off by default."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let state_arg =
+    let doc =
+      "State root; each tenant journals and snapshots under \
+       $(docv)/tenants/<id>. Existing tenant directories are recovered \
+       before the daemon reports ready."
+    in
+    Arg.(
+      value & opt string "alphonsed-state" & info [ "state" ] ~docv:"DIR" ~doc)
+  in
+  let ephemeral_arg =
+    let doc = "Disable WAL and snapshots entirely (benchmarks, scratch use)." in
+    Arg.(value & flag & info [ "ephemeral" ] ~doc)
+  in
+  let max_tenants_arg =
+    let doc = "Maximum number of hosted tenants; beyond it new tenants get 503." in
+    Arg.(value & opt int 4096 & info [ "max-tenants" ] ~docv:"N" ~doc)
+  in
+  let tenant_queue_arg =
+    let doc =
+      "Per-tenant admission bound: at most $(docv) requests pending \
+       (including the one running) per tenant before shedding with 503."
+    in
+    Arg.(value & opt int 16 & info [ "tenant-queue" ] ~docv:"N" ~doc)
+  in
+  let global_queue_arg =
+    let doc =
+      "Global admission bound: at most $(docv) requests in flight across \
+       all tenants before shedding with 503."
+    in
+    Arg.(value & opt int 1024 & info [ "global-queue" ] ~docv:"N" ~doc)
+  in
+  let max_settles_arg =
+    let doc = "At most $(docv) batches settle concurrently; the rest wait." in
+    Arg.(value & opt int 8 & info [ "max-settles" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request deadline in milliseconds for requests that \
+       carry none (0 disables). A tripped deadline cancels the settle at \
+       a step boundary, rolls the batch back, and answers 408."
+    in
+    Arg.(value & opt float 30000. & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let doc =
+    "Run alphonsed: a supervised multi-tenant daemon hosting one durable \
+     spreadsheet engine per tenant behind a newline-delimited JSON \
+     protocol. Batches run atomically under deadlines; overload sheds \
+     with 503 + retry_after_ms; a crashing tenant is restarted from its \
+     own WAL with backoff (circuit breaker when flapping) without \
+     touching its neighbours. SIGTERM drains: stop accepting, finish \
+     in-flight batches, checkpoint every tenant, exit 0."
+  in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(
+      const run $ port_arg $ metrics_port_arg $ state_arg $ ephemeral_arg
+      $ wal_arg $ max_tenants_arg $ tenant_queue_arg $ global_queue_arg
+      $ max_settles_arg $ deadline_arg)
+
+let call_cmd =
+  let run port file =
+    let ic_req = match file with None -> stdin | Some f -> open_in f in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "connect 127.0.0.1:%d: %s@." port (Unix.error_message e);
+      2
+    | () ->
+      let sock_ic = Unix.in_channel_of_descr fd in
+      let worst = ref 0 in
+      let rec loop () =
+        match input_line ic_req with
+        | exception End_of_file -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+          Serve.write_all fd (line ^ "\n");
+          (match input_line sock_ic with
+          | resp ->
+            print_endline resp;
+            (match
+               Option.bind
+                 (Option.bind (Alphonse.Json.of_string_opt resp)
+                    (Alphonse.Json.member "status"))
+                 Alphonse.Json.to_float
+             with
+            | Some st when int_of_float st >= 400 -> worst := 1
+            | _ -> ());
+            loop ()
+          | exception End_of_file ->
+            Fmt.epr "connection closed by the daemon@.";
+            worst := 2)
+      in
+      loop ();
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      !worst
+  in
+  let port_arg =
+    let doc = "Port of the running daemon." in
+    Arg.(value & opt int 7465 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let file_arg =
+    let doc = "Read request lines from $(docv) instead of stdin." in
+    Arg.(
+      value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Send newline-delimited JSON request lines (stdin or $(b,--file)) to a \
+     running $(b,alphonsec daemon) and print one response line per \
+     request. Exits 1 if any response status is 400 or above, 2 on \
+     connection errors."
+  in
+  Cmd.v (Cmd.info "call" ~doc) Term.(const run $ port_arg $ file_arg)
+
 let () =
   let doc = "the Alphonse incremental-computation transformation system" in
   let info = Cmd.info "alphonsec" ~version:"1.0.0" ~doc in
@@ -904,5 +1067,6 @@ let () =
           [
             check_cmd; print_cmd; transform_cmd; analyze_cmd; lint_cmd;
             run_cmd; compare_cmd; profile_cmd; graph_cmd; samples_cmd;
-            sheet_cmd; recover_cmd; metrics_cmd; serve_cmd;
+            sheet_cmd; recover_cmd; metrics_cmd; serve_cmd; daemon_cmd;
+            call_cmd;
           ]))

@@ -40,3 +40,5 @@ module Htbl = Htbl
 module Metrics = Metrics
 module Flight = Flight
 module Serve = Serve
+module Tenant = Tenant
+module Daemon = Daemon

@@ -34,6 +34,41 @@ exception Cycle of string
 exception Poisoned of string
 exception Audit_failure of string list
 exception Watchdog of string
+exception Cancelled of string
+
+(* A cooperative execution budget (the daemon's deadline machinery).
+   Checked only at settle-step granularity — right where the fault
+   injector's "settle-pop" site sits, before the pop — so tripping it
+   leaves the heap intact and every node still queued: the settle is
+   abandoned, not corrupted. Inside [transact] the raise rides the undo
+   log and the whole batch rolls back. [cancel] is an atomic flag so
+   another thread/domain can preempt a running settle. *)
+module Budget = struct
+  type t = {
+    deadline : float option; (* absolute, [Unix.gettimeofday] timeline *)
+    step_cap : int option;
+    mutable steps : int; (* settle steps consumed while armed *)
+    cancel : bool Atomic.t;
+  }
+
+  let create ?deadline ?deadline_in ?max_steps () =
+    let deadline =
+      match (deadline, deadline_in) with
+      | Some d, _ -> Some d
+      | None, Some dt -> Some (Unix.gettimeofday () +. dt)
+      | None, None -> None
+    in
+    (match max_steps with
+    | Some n when n < 1 ->
+      invalid_arg "Engine.Budget.create: max_steps must be >= 1"
+    | _ -> ());
+    { deadline; step_cap = max_steps; steps = 0; cancel = Atomic.make false }
+
+  let cancel b = Atomic.set b.cancel true
+  let cancelled b = Atomic.get b.cancel
+  let steps_used b = b.steps
+  let deadline b = b.deadline
+end
 
 (* Node payload: the engine-side bookkeeping of §4.1. [queued] is
    membership in the inconsistent set; [consistent] is the paper's
@@ -219,6 +254,7 @@ type mcells = {
   m_retries : Metrics.counter;
   m_degradations : Metrics.counter;
   m_rollbacks : Metrics.counter;
+  m_cancellations : Metrics.counter;
   m_par_levels : Metrics.counter;
   m_par_tasks : Metrics.counter;
   (* per-lane pool cells, resolved at the first parallel settle and
@@ -243,6 +279,7 @@ type t = {
          per-source edge dedup would suppress edges across consumers *)
   mutable settling : bool;
   mutable settle_fuel : int; (* -1 = unlimited; armed per settle session *)
+  mutable budget : Budget.t option; (* cooperative deadline/step budget *)
   mutable dirty_parts : partition list;
   mutable all_nodes : nd list;
   mutable telemetry : Telemetry.t option;
@@ -305,6 +342,7 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     exec_serial = Atomic.make 0;
     settling = false;
     settle_fuel = -1;
+    budget = None;
     dirty_parts = [];
     all_nodes = [];
     telemetry = None;
@@ -476,6 +514,9 @@ let set_metrics t = function
           m_degradations =
             c "degradations_total" "watchdog degradations to exhaustive";
           m_rollbacks = c "rollbacks_total" "transactions rolled back";
+          m_cancellations =
+            c "cancellations_total"
+              "settles aborted by a budget (deadline, step cap or cancel)";
           m_par_levels = c "parallel_levels_total" "parallel level fronts";
           m_par_tasks =
             c "parallel_tasks_total" "eager executions dispatched to the pool";
@@ -483,6 +524,46 @@ let set_metrics t = function
         }
 
 let metrics t = match t.metrics with None -> None | Some m -> Some m.mreg
+
+(* Budget enforcement. [budget_check] runs at the head of every settle
+   step, *before* the inconsistent-set pop: a raise here leaves the
+   pending node queued and the heap untouched, so the settle can be
+   resumed (next stabilize) or rolled back (enclosing [transact])
+   without losing propagation. Cheap when unarmed: one [match]. The
+   deadline comparison is last — [Unix.gettimeofday] is the only
+   syscall on this path. *)
+let[@inline] budget_check t =
+  match t.budget with
+  | None -> ()
+  | Some b ->
+    let trip reason =
+      (match t.metrics with
+      | None -> ()
+      | Some m -> Metrics.inc m.m_cancellations);
+      Log.debug (fun m -> m "budget tripped: %s" reason);
+      raise (Cancelled reason)
+    in
+    if Atomic.get b.Budget.cancel then trip "cancelled";
+    (match b.Budget.step_cap with
+    | Some cap when b.Budget.steps >= cap ->
+      trip (Printf.sprintf "settle-step budget %d exhausted" cap)
+    | _ -> ());
+    (match b.Budget.deadline with
+    | Some d when Unix.gettimeofday () > d -> trip "deadline exceeded"
+    | _ -> ())
+
+let[@inline] budget_step t =
+  match t.budget with
+  | None -> ()
+  | Some b -> b.Budget.steps <- b.Budget.steps + 1
+
+let set_budget t b = t.budget <- b
+let budget t = t.budget
+
+let with_budget t b f =
+  let saved = t.budget in
+  t.budget <- Some b;
+  Fun.protect ~finally:(fun () -> t.budget <- saved) f
 
 let default_strategy t = t.strategy0
 let partitioning t = t.use_partitions
@@ -788,7 +869,7 @@ let dirty p =
    charge them — retrying can never shrink the recursion. *)
 let record_failure t node p (inst : instance) e =
   match e with
-  | Cycle _ | Poisoned _ | Audit_failure _ | Watchdog _ -> ()
+  | Cycle _ | Poisoned _ | Audit_failure _ | Watchdog _ | Cancelled _ -> ()
   | _ ->
     t.c_failures <- t.c_failures + 1;
     inst.failures <- inst.failures + 1;
@@ -1022,6 +1103,11 @@ let process_inconsistent t node p =
     match inst.strategy with
     | Demand ->
       if inst.consistent then begin
+        (* propagation state is engine state: inside a transaction the
+           flip must be undoable, or a rollback after a cancelled settle
+           leaves this instance already-inconsistent — a later settle
+           would then skip the flip and never notify its dependents *)
+        txn_log t (fun () -> inst.consistent <- true);
         inst.consistent <- false;
         mark_succs ~cause:node t node
       end
@@ -1172,6 +1258,11 @@ let process_guarded t node p =
   match process_inconsistent t node p with
   | () -> ()
   | exception (Audit_failure _ as e) -> raise e
+  | exception (Cancelled _ as e) ->
+    (* a budget trip aborts the whole settle, it is not an instance
+       failure to quarantine — the node was re-marked inconsistent by
+       the failure path, so nothing is lost *)
+    raise e
   | exception e ->
     Log.debug (fun m ->
         m "settle: %s#%d failed (%s); %s" p.name (G.id node)
@@ -1197,8 +1288,10 @@ let settle_partition t part =
       in
       Fun.protect ~finally:reinsert @@ fun () ->
         let rec loop () =
-          (* poked before the pop so a fault leaves the heap intact *)
+          (* poked (and budget-checked) before the pop so a fault or a
+             cancellation leaves the heap intact *)
           poke t "settle-pop";
+          budget_check t;
           if t.settle_fuel = 0 then degrade_to_exhaustive t
           else
             match Heap.pop_min part.queue with
@@ -1212,6 +1305,11 @@ let settle_partition t part =
                   emit t (fun () ->
                       Telemetry.Settle_pop { id = G.id node; name = p.name });
                   p.queued <- false;
+                  (* the pop consumes the mark: inside a transaction, log
+                     its restoration so a rollback cannot strand a node
+                     that was queued before the batch began *)
+                  txn_log t (fun () -> mark_inconsistent t node);
+                  budget_step t;
                   t.c_steps <- t.c_steps + 1;
                   (match t.metrics with
                   | None -> ()
@@ -1301,6 +1399,7 @@ let settle_bounded t ~max_steps =
                 let rec loop () =
                   if !budget > 0 then begin
                     poke t "settle-pop";
+                    budget_check t;
                     if t.settle_fuel = 0 then degrade_to_exhaustive t
                     else
                       match Heap.pop_min part.queue with
@@ -1314,7 +1413,10 @@ let settle_bounded t ~max_steps =
                                  Telemetry.Settle_pop
                                    { id = G.id node; name = p.name });
                              p.queued <- false;
+                             txn_log t (fun () ->
+                                 mark_inconsistent t node);
                              decr budget;
+                             budget_step t;
                              t.c_steps <- t.c_steps + 1;
                              (match t.metrics with
                              | None -> ()
@@ -1887,11 +1989,15 @@ let run_level t par ~level queued =
   let process_member node =
     let p = G.payload node in
     if p.queued then begin
-      (* poked before the pop so a fault leaves the member queued *)
+      (* poked (and budget-checked) before the pop so a fault or a
+         cancellation leaves the member queued *)
       poke t "settle-pop";
+      budget_check t;
       if t.settle_fuel = 0 then raise Par_degrade;
       emit t (fun () -> Telemetry.Settle_pop { id = G.id node; name = p.name });
       p.queued <- false;
+      txn_log t (fun () -> mark_inconsistent t node);
+      budget_step t;
       t.c_steps <- t.c_steps + 1;
       (match t.metrics with
       | None -> ()

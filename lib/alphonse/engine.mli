@@ -118,6 +118,16 @@ exception Watchdog of string
     cannot shrink the recursion, so charging would eventually poison
     instances for a condition only a graph change can fix). *)
 
+exception Cancelled of string
+(** Raised when the armed {!Budget} trips: its wall-clock deadline
+    passed, its settle-step cap was reached, or {!Budget.cancel} was
+    called from another thread. Checked only at settle-step boundaries
+    (cooperative cancellation), before the inconsistent-set pop, so the
+    abandoned settle leaves every pending node queued: a later
+    stabilize resumes it, and inside {!transact} the whole batch rolls
+    back to its pre-batch state. Structural, like {!Watchdog}: a trip
+    never consumes any instance's retry budget. *)
+
 val create :
   ?partitioning:bool ->
   ?default_strategy:strategy ->
@@ -239,6 +249,51 @@ val settle_bounded : t -> max_steps:int -> bool
     ("the evaluation routine should be called whenever cycles are
     available … and can be preempted when necessary"). Always serial,
     regardless of the engine's scheduling. *)
+
+(** {1 Deadlines and cooperative cancellation}
+
+    A budget bounds one or more settle sessions by wall clock, by
+    settle-step count, or by an external cancel signal. The daemon arms
+    one per request batch so a slow tenant cannot wedge the process:
+    the trip raises {!Cancelled} at a settle-step boundary and — when
+    the batch runs inside {!transact} — the undo log restores the
+    pre-batch state, so a cancelled request never leaves a wrong
+    answer, only an unserved one. *)
+
+module Budget : sig
+  type t
+
+  val create :
+    ?deadline:float -> ?deadline_in:float -> ?max_steps:int -> unit -> t
+  (** [deadline] is absolute (the [Unix.gettimeofday] timeline);
+      [deadline_in] is relative to now — [deadline] wins when both are
+      given. [max_steps] caps the settle steps charged to this budget
+      across every settle it is armed for (must be [>= 1]). With no
+      arguments the budget only trips via {!cancel}. *)
+
+  val cancel : t -> unit
+  (** Request cancellation; thread/domain-safe. The owning engine
+      raises {!Cancelled} at its next settle-step boundary. *)
+
+  val cancelled : t -> bool
+  val steps_used : t -> int
+  (** Settle steps charged so far. *)
+
+  val deadline : t -> float option
+end
+
+val set_budget : t -> Budget.t option -> unit
+(** Arm (or disarm, with [None]) the engine's budget. Checked at every
+    settle-step boundary of every settle flavour (serial, bounded,
+    parallel), before the pop — so a trip leaves all pending work
+    queued and resumable. *)
+
+val budget : t -> Budget.t option
+
+val with_budget : t -> Budget.t -> (unit -> 'a) -> 'a
+(** [with_budget t b f] runs [f] with [b] armed, restoring the previous
+    budget on return or raise. The daemon wraps each request batch:
+    [with_budget eng b (fun () -> transact eng batch)]. *)
 
 (** {1 Parallel settlement} *)
 

@@ -5,7 +5,10 @@
    line + headers capped at 8 KiB, one connection served at a time
    (scrapes are serial and sub-millisecond; a stuck client can delay
    the next scrape but not wedge the process, thanks to a socket
-   timeout). *)
+   timeout). The listener half ([create_raw]/[accept]) is also the
+   daemon's connection front end: [Daemon] reuses the resilient accept
+   loop and runs its own newline-delimited JSON protocol over the
+   accepted descriptors. *)
 
 type response = { status : int; content_type : string; body : string }
 
@@ -18,23 +21,36 @@ let json ?(status = 200) body =
 type t = {
   sock : Unix.file_descr;
   port : int;
+  addr : Unix.inet_addr;
   routes : (string * (unit -> response)) list;
+  timeout : float;
   mutable closed : bool;
+  (* transient-failure accounting: accept errors must not kill the
+     loop, but they must not be invisible either *)
+  mutable accept_errors : int;
+  mutable oversize_requests : int;
+  mutable m_accept_errors : Metrics.counter option;
+  mutable m_oversize : Metrics.counter option;
 }
 
 let reason = function
   | 200 -> "OK"
+  | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
   | 503 -> "Service Unavailable"
   | _ -> "Response"
 
-let create ?(host = "127.0.0.1") ~port routes =
+let create_gen ?(host = "127.0.0.1") ?(timeout = 5.0) ~port routes =
+  let addr = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
-     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-     Unix.listen sock 16
+     Unix.bind sock (Unix.ADDR_INET (addr, port));
+     Unix.listen sock 64
    with e ->
      (try Unix.close sock with _ -> ());
      raise e);
@@ -43,12 +59,84 @@ let create ?(host = "127.0.0.1") ~port routes =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  { sock; port; routes; closed = false }
+  {
+    sock;
+    port;
+    addr;
+    routes;
+    timeout;
+    closed = false;
+    accept_errors = 0;
+    oversize_requests = 0;
+    m_accept_errors = None;
+    m_oversize = None;
+  }
 
+let create ?host ~port routes = create_gen ?host ~port routes
+let create_raw ?host ?timeout ~port () = create_gen ?host ?timeout ~port []
 let port s = s.port
+let accept_errors s = s.accept_errors
+let oversize_requests s = s.oversize_requests
+
+let set_metrics s = function
+  | None ->
+    s.m_accept_errors <- None;
+    s.m_oversize <- None
+  | Some reg ->
+    s.m_accept_errors <-
+      Some
+        (Metrics.counter reg "serve_accept_errors_total"
+           ~help:"transient accept(2) failures survived by the listener");
+    s.m_oversize <-
+      Some
+        (Metrics.counter reg "serve_oversize_requests_total"
+           ~help:"requests rejected with 431 (over the 8 KiB cap)")
+
+let count_accept_error s =
+  s.accept_errors <- s.accept_errors + 1;
+  match s.m_accept_errors with None -> () | Some c -> Metrics.inc c
+
+(* Accept one connection, surviving the transient failures a hostile
+   network hands a long-running listener: EINTR (signals), ECONNABORTED
+   (client gave up between SYN and accept), EAGAIN/EWOULDBLOCK (kernel
+   race), and descriptor exhaustion (EMFILE/ENFILE — backs off instead
+   of spinning). Returns [None] once the listener is closed. A blocked
+   accept is woken by [close]'s self-connection, so shutdown does not
+   wait for a real client. *)
+let rec accept s =
+  if s.closed then None
+  else
+    match Unix.accept s.sock with
+    | fd, _ ->
+      if s.closed then begin
+        (try Unix.close fd with _ -> ());
+        None
+      end
+      else begin
+        (* a stalled client must not wedge the serving loop *)
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO s.timeout;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO s.timeout
+         with _ -> ());
+        Some fd
+      end
+    | exception
+        Unix.Unix_error
+          ((EINTR | ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _) ->
+      count_accept_error s;
+      accept s
+    | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+      count_accept_error s;
+      if not s.closed then (try Unix.sleepf 0.05 with _ -> ());
+      accept s
+    | exception _ when s.closed -> None
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) ->
+      (* closed under us by another thread *)
+      None
 
 (* Read until the end of the header block (we ignore bodies: GET only).
-   Bounded: a client streaming garbage is cut off at 8 KiB. *)
+   Bounded: a client streaming garbage past 8 KiB is answered 431 and
+   cut off instead of having its prefix parsed as a request. *)
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -58,18 +146,20 @@ let read_request fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 512 in
   let rec go () =
-    if Buffer.length buf <= 8192 then
+    if Buffer.length buf > 8192 then `Oversize
+    else
       let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
-      if n > 0 then begin
+      if n = 0 then `Request (Buffer.contents buf)
+      else begin
         Buffer.add_subbytes buf chunk 0 n;
         let s = Buffer.contents buf in
         (* tolerate bare-LF clients *)
-        if not (contains_substring s "\r\n\r\n" || contains_substring s "\n\n")
-        then go ()
+        if contains_substring s "\r\n\r\n" || contains_substring s "\n\n"
+        then `Request s
+        else go ()
       end
   in
-  go ();
-  Buffer.contents buf
+  go ()
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -91,37 +181,39 @@ let respond fd { status; content_type; body } =
        status (reason status) content_type (String.length body) body)
 
 let handle s fd =
-  let req = read_request fd in
   let resp =
-    match String.index_opt req '\n' with
-    | None -> text ~status:405 "bad request\n"
-    | Some nl -> (
-      let line = String.trim (String.sub req 0 nl) in
-      match String.split_on_char ' ' line with
-      | "GET" :: target :: _ -> (
-        (* strip any query string: routes are bare paths *)
-        let path =
-          match String.index_opt target '?' with
-          | None -> target
-          | Some q -> String.sub target 0 q
-        in
-        match List.assoc_opt path s.routes with
-        | Some f -> ( try f () with _ -> text ~status:503 "handler failed\n")
-        | None -> text ~status:404 "not found\n")
-      | _ -> text ~status:405 "method not allowed\n")
+    match read_request fd with
+    | `Oversize ->
+      s.oversize_requests <- s.oversize_requests + 1;
+      (match s.m_oversize with None -> () | Some c -> Metrics.inc c);
+      text ~status:431 "request header fields too large\n"
+    | `Request req -> (
+      match String.index_opt req '\n' with
+      | None -> text ~status:405 "bad request\n"
+      | Some nl -> (
+        let line = String.trim (String.sub req 0 nl) in
+        match String.split_on_char ' ' line with
+        | "GET" :: target :: _ -> (
+          (* strip any query string: routes are bare paths *)
+          let path =
+            match String.index_opt target '?' with
+            | None -> target
+            | Some q -> String.sub target 0 q
+          in
+          match List.assoc_opt path s.routes with
+          | Some f -> ( try f () with _ -> text ~status:503 "handler failed\n")
+          | None -> text ~status:404 "not found\n")
+        | _ -> text ~status:405 "method not allowed\n"))
   in
   respond fd resp
 
 let serve_one s =
-  let fd, _ = Unix.accept s.sock in
-  (* a stalled client must not wedge the scrape loop *)
-  (try
-     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
-   with _ -> ());
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with _ -> ())
-    (fun () -> try handle s fd with _ -> ())
+  match accept s with
+  | None -> ()
+  | Some fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () -> try handle s fd with _ -> ())
 
 let serve ~max_requests s =
   for _ = 1 to max_requests do
@@ -136,5 +228,13 @@ let serve_forever s =
 let close s =
   if not s.closed then begin
     s.closed <- true;
+    (* wake any accept blocked in another thread: closing a descriptor
+       does not reliably unblock a concurrent accept(2) on Linux, so
+       poke the listener with a throwaway connection first *)
+    (try
+       let w = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect w (Unix.ADDR_INET (s.addr, s.port)) with _ -> ());
+       (try Unix.close w with _ -> ())
+     with _ -> ());
     try Unix.close s.sock with _ -> ()
   end

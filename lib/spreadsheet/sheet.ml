@@ -435,3 +435,71 @@ let persist t =
         (Json.to_string j)
   in
   { Alphonse.Durable.p_save = save; p_load = load; p_apply = apply }
+
+(* ------------------------------------------------------------------ *)
+(* Daemon workload                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_value = function
+  | Empty -> Json.Null
+  | Num x -> Json.Num x
+  | Error e -> Json.Str (Fmt.str "%a" pp_error e)
+
+(* One request op against a live sheet. Malformed input is the
+   client's fault, not a tenant crash: raise [Tenant.Bad_op] so the
+   supervisor answers 400 and keeps the session. *)
+let apply_op t op =
+  let field k = Option.bind (Json.member k op) Json.to_str in
+  let bad msg = raise (Alphonse.Tenant.Bad_op msg) in
+  match field "op" with
+  | Some "set" -> (
+    match field "cell" with
+    | None -> bad "set: missing cell"
+    | Some cell ->
+      let v =
+        match field "v" with
+        | Some v -> v
+        | None -> (
+          (* numeric payloads are welcome too *)
+          match Option.bind (Json.member "v" op) Json.to_float with
+          | Some x -> Fmt.str "%.12g" x
+          | None -> bad "set: missing v")
+      in
+      (match F.parse cell with
+      | Ok (F.Cell _) -> ()
+      | _ -> bad ("set: bad cell name " ^ cell));
+      set t cell v;
+      Json.Obj [ ("ok", Json.Bool true) ])
+  | Some "get" -> (
+    match field "cell" with
+    | None -> bad "get: missing cell"
+    | Some cell ->
+      let coord =
+        match F.parse cell with
+        | Ok (F.Cell (c, r)) -> (c, r)
+        | _ -> bad ("get: bad cell name " ^ cell)
+      in
+      Json.Obj
+        [
+          ("cell", Json.Str (F.name_of_cell coord));
+          ("value", json_of_value (value t coord));
+        ])
+  | Some "render" -> Json.Obj [ ("render", Json.Str (render t)) ]
+  | Some "recalc" ->
+    Json.Obj [ ("visited", Json.Num (float_of_int (recalc_all t))) ]
+  | Some other -> bad ("unknown op " ^ other)
+  | None -> bad "op missing"
+
+let workload ?strategy ?scheduling ?partitioning () : Alphonse.Tenant.workload
+    =
+  {
+    Alphonse.Tenant.w_make =
+      (fun () ->
+        let t = create ?strategy ?scheduling ?partitioning () in
+        {
+          Alphonse.Tenant.s_engine = engine t;
+          s_apply = (fun op -> apply_op t op);
+          s_persist = persist t;
+          s_set_journal = set_journal t;
+        });
+  }

@@ -109,3 +109,19 @@ val persist : t -> Alphonse.Durable.persistable
     (sorted, raw-input form — constants round-trip bit-exactly), load
     rebuilds them in a fresh sheet, apply replays one journaled edit.
     Load and apply never journal. *)
+
+(** {1 Daemon workload} *)
+
+val workload :
+  ?strategy:Alphonse.Engine.strategy ->
+  ?scheduling:Alphonse.Engine.scheduling ->
+  ?partitioning:bool ->
+  unit ->
+  Alphonse.Tenant.workload
+(** The spreadsheet as a daemon tenant ([alphonsec daemon] hosts one
+    sheet per tenant). Ops: [{"op":"set","cell":"A1","v":"=B1+1"}],
+    [{"op":"get","cell":"A1"}] (value is a number, [null] for an empty
+    cell, or an error string such as ["#DIV/0!"]),
+    [{"op":"render"}], [{"op":"recalc"}]. Malformed ops raise
+    {!Alphonse.Tenant.Bad_op}, which the daemon answers with 400 after
+    rolling back the batch. *)

@@ -12,8 +12,8 @@ The repo's own docs must be clean:
 Collect the full help corpus and verify no documented flag has drifted
 from the CLI:
 
-  $ for c in analyze check compare graph lint metrics print profile recover \
-  >          run samples serve sheet transform; do
+  $ for c in analyze call check compare daemon graph lint metrics print profile \
+  >          recover run samples serve sheet transform; do
   >   ../bin/alphonsec.exe $c --help=plain
   > done > help.txt 2>&1
   $ check_docs --root .. --help-text help.txt

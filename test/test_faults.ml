@@ -676,6 +676,169 @@ let test_count_restores_hook () =
   | None -> Alcotest.fail "hook not restored");
   checkb "restored hook runs" true !poked
 
+
+(* ------------------------------------------------------------------ *)
+(* Budgets: deadlines and cooperative cancellation                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The cancellation property (ISSUE 7): [Engine.Cancelled] tripping at
+   ANY settle step of a transacted batch leaves the observable state
+   equal to the pre-batch state (the undo log rewinds it), the audit
+   clean, no retry budget charged — and the batch replayable to the
+   clean answer. Swept by arming a step cap of k = 1, 2, ... until the
+   batch completes uncancelled, so every settle step of the batch gets
+   its turn as the cancellation point. *)
+let cancel_sweep (make : unit -> Engine.t * (unit -> string) * (unit -> unit))
+    () =
+  let make () =
+    let eng, snap, batch = make () in
+    if audit_mode then Engine.set_self_audit eng true;
+    (eng, snap, batch)
+  in
+  let eng0, snap0, batch0 = make () in
+  let pre = snap0 () in
+  Engine.transact eng0 batch0;
+  let post = snap0 () in
+  checkb "batch changes the observable state" false (String.equal pre post);
+  let rec sweep k =
+    if k > 10_000 then Alcotest.fail "budget sweep did not terminate";
+    let eng, snap, batch = make () in
+    checks "fresh instance starts at pre" pre (snap ());
+    let b = Engine.Budget.create ~max_steps:k () in
+    match Engine.with_budget eng b (fun () -> Engine.transact eng batch) with
+    | () ->
+      checks (Fmt.str "uncancelled at k=%d completes to post" k) post (snap ());
+      check_audit "after uncancelled batch" eng;
+      k - 1
+    | exception Engine.Cancelled _ ->
+      checkb
+        (Fmt.str "budget disarmed after trip at %d" k)
+        true
+        (Engine.budget eng = None);
+      checks (Fmt.str "cancelled at step cap %d rolls back to pre" k) pre
+        (snap ());
+      check_audit (Fmt.str "after cancellation at %d" k) eng;
+      checkb
+        (Fmt.str "cancellation at %d charges no retry budget" k)
+        true
+        (Engine.quarantined eng = []);
+      (* the abandoned work must be replayable, not wedged *)
+      Engine.transact eng batch;
+      checks (Fmt.str "replay after cancellation at %d" k) post (snap ());
+      check_audit "after replay" eng;
+      sweep (k + 1)
+  in
+  let cancelled_trips = sweep 1 in
+  checkb "sweep exercised at least one cancellation" true (cancelled_trips >= 1)
+
+let diamond_cancel ?scheduling ~strategy () =
+  let eng = Engine.create ?scheduling ~default_strategy:strategy () in
+  let a = Var.create eng ~name:"a" 2 in
+  let b = Var.create eng ~name:"b" 5 in
+  let z = Var.create eng ~name:"z" 100 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a + Var.get b) in
+  let g = Func.create eng ~name:"g" (fun _ () -> Var.get a * Var.get b) in
+  let top =
+    Func.create eng ~name:"top" (fun _ () -> Func.call f () + Func.call g ())
+  in
+  let other = Func.create eng ~name:"other" (fun _ () -> Var.get z - 1) in
+  let snap () =
+    Engine.stabilize eng;
+    Fmt.str "%d/%d" (Func.call top ()) (Func.call other ())
+  in
+  ignore (snap () : string);
+  let batch () =
+    Var.set a 3;
+    Var.set b (-4);
+    Var.set z 7
+  in
+  (eng, snap, batch)
+
+let sheet_cancel ?scheduling () =
+  let s = S.create ?scheduling () in
+  S.set s "A1" "4";
+  S.set s "A2" "=A1*A1";
+  S.set s "A3" "=A2+A1";
+  S.set s "B1" "=SUM(A1:A3)";
+  S.set s "B2" "=B1/A1";
+  let snap () = S.render s in
+  ignore (snap () : string);
+  let batch () =
+    S.set s "A1" "2";
+    S.set s "A3" "=SQRT(A2+5)";
+    S.set s "B1" "=A2+A3"
+  in
+  (S.engine s, snap, batch)
+
+let avl_cancel ?scheduling () =
+  let eng = Engine.create ?scheduling () in
+  let t = Avl.create eng in
+  List.iter (fun k -> Avl.insert t k) [ 5; 2; 8; 1; 9 ];
+  Avl.rebalance t;
+  let snap () =
+    Avl.rebalance t;
+    Fmt.str "%a/h%d/%b%b"
+      Fmt.(Dump.list int)
+      (Avl.to_list t) (Avl.height t)
+      (Avl.is_ordered (Avl.root t))
+      (Avl.is_balanced (Avl.root t))
+  in
+  ignore (snap () : string);
+  let batch () =
+    Avl.insert t 3;
+    Avl.insert t 7;
+    Avl.delete t 2
+  in
+  (eng, snap, batch)
+
+let test_budget_deadline_expired () =
+  let eng = Engine.create ~default_strategy:Engine.Eager () in
+  let a = Var.create eng ~name:"a" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a + 1) in
+  checki "primed" 2 (Func.call f ());
+  let b = Engine.Budget.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  (match
+     Engine.with_budget eng b (fun () ->
+         Engine.transact eng (fun () -> Var.set a 41))
+   with
+  | () -> Alcotest.fail "expected Cancelled"
+  | exception Engine.Cancelled msg ->
+    checkb "reason names the deadline" true
+      (String.length msg >= 8 && String.sub msg 0 8 = "deadline"));
+  checkb "budget disarmed" true (Engine.budget eng = None);
+  checki "write rolled back" 2 (Func.call f ());
+  check_audit "after deadline trip" eng
+
+let test_budget_cancel_flag () =
+  let eng = Engine.create ~default_strategy:Engine.Eager () in
+  let a = Var.create eng ~name:"a" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a * 10) in
+  checki "primed" 10 (Func.call f ());
+  let b = Engine.Budget.create () in
+  checkb "not yet cancelled" false (Engine.Budget.cancelled b);
+  Engine.Budget.cancel b;
+  checkb "flag latched" true (Engine.Budget.cancelled b);
+  (match
+     Engine.with_budget eng b (fun () ->
+         Engine.transact eng (fun () -> Var.set a 5))
+   with
+  | () -> Alcotest.fail "expected Cancelled"
+  | exception Engine.Cancelled _ -> ());
+  checki "write rolled back" 10 (Func.call f ());
+  check_audit "after cancel flag" eng
+
+let test_budget_counts_steps () =
+  let eng = Engine.create ~default_strategy:Engine.Eager () in
+  let a = Var.create eng ~name:"a" 1 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a + 1) in
+  let g = Func.create eng ~name:"g" (fun _ () -> Func.call f () * 2) in
+  checki "primed" 4 (Func.call g ());
+  let b = Engine.Budget.create ~max_steps:1_000 () in
+  Engine.with_budget eng b (fun () ->
+      Engine.transact eng (fun () -> Var.set a 10));
+  checkb "steps were charged" true (Engine.Budget.steps_used b > 0);
+  checki "batch committed" 22 (Func.call g ())
+
 let () =
   Alcotest.run "faults"
     [
@@ -728,6 +891,28 @@ let () =
             test_transact_rollback_on_injected_settle_fault;
           Alcotest.test_case "nesting rejected" `Quick
             test_transact_nesting_rejected;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "cancel sweep: diamond (demand)" `Quick
+            (cancel_sweep (diamond_cancel ~strategy:Engine.Demand));
+          Alcotest.test_case "cancel sweep: diamond (eager)" `Quick
+            (cancel_sweep (diamond_cancel ~strategy:Engine.Eager));
+          Alcotest.test_case "cancel sweep: diamond (eager, parallel-4)" `Quick
+            (cancel_sweep
+               (diamond_cancel ~scheduling:par4 ~strategy:Engine.Eager));
+          Alcotest.test_case "cancel sweep: spreadsheet" `Quick
+            (cancel_sweep (sheet_cancel ?scheduling:None));
+          Alcotest.test_case "cancel sweep: spreadsheet (parallel-4)" `Quick
+            (cancel_sweep (sheet_cancel ~scheduling:par4));
+          Alcotest.test_case "cancel sweep: avl" `Quick
+            (cancel_sweep (avl_cancel ?scheduling:None));
+          Alcotest.test_case "expired deadline trips and rolls back" `Quick
+            test_budget_deadline_expired;
+          Alcotest.test_case "cancel flag preempts the settle" `Quick
+            test_budget_cancel_flag;
+          Alcotest.test_case "steps are charged to the budget" `Quick
+            test_budget_counts_steps;
         ] );
       ( "watchdog",
         [

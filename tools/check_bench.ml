@@ -82,7 +82,7 @@ let () =
   let names =
     List.filter_map (fun e -> Option.bind (member "name" e) to_str) exps
   in
-  let required = [ "E16"; "E17"; "E18"; "E19"; "E20" ] in
+  let required = [ "E16"; "E17"; "E18"; "E19"; "E20"; "E21" ] in
   let missing =
     List.filter
       (fun r ->
@@ -214,4 +214,70 @@ let () =
     fail "%s: E20 present but has no config=disabled rows" file;
   if !enabled_rows = 0 then
     fail "%s: E20 present but has no config=enabled rows" file;
+  (* E21 carries the daemon's overload contract: at the nominal load a
+     thousand tenants are served without shedding, and at 2x offered
+     load the daemon degrades by shedding (fast 503s) while still
+     accepting work — a 2x row with shed = 0 means the bench stopped
+     creating overload, and ok = 0 means the daemon stalled instead of
+     degrading. *)
+  let e21 =
+    get "E21 experiment"
+      (List.find_opt
+         (fun e -> Option.bind (member "name" e) to_str = Some "E21")
+         exps)
+  in
+  let tables = get "E21 tables" (Option.bind (member "tables" e21) to_list) in
+  let saw_1x = ref false and saw_2x = ref false in
+  List.iter
+    (fun t ->
+      let headers =
+        List.filter_map to_str
+          (get "E21 headers" (Option.bind (member "headers" t) to_list))
+      in
+      let idx name =
+        let rec go i = function
+          | [] -> fail "%s: E21 table lacks a %S column" file name
+          | h :: _ when h = name -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 headers
+      in
+      let li = idx "load"
+      and ni = idx "tenants"
+      and oi = idx "ok"
+      and si = idx "shed" in
+      let rows = get "E21 rows" (Option.bind (member "rows" t) to_list) in
+      List.iter
+        (fun row ->
+          let cells = List.filter_map to_str (get "E21 row" (to_list row)) in
+          let cell i = List.nth cells i in
+          let int_cell i =
+            match int_of_string_opt (cell i) with
+            | Some n -> n
+            | None -> fail "%s: E21 cell %S is not an integer" file (cell i)
+          in
+          if int_cell ni < 1000 then
+            fail "%s: E21 ran %s tenant(s); the claim needs >= 1000" file
+              (cell ni);
+          match cell li with
+          | "1x" ->
+            saw_1x := true;
+            if int_cell si <> 0 then
+              fail "%s: E21 sheds %s request(s) at nominal load" file (cell si)
+          | "2x" ->
+            saw_2x := true;
+            if int_cell si = 0 then
+              fail
+                "%s: E21 shed nothing at 2x overload (the bench is not \
+                 overloading the daemon)"
+                file;
+            if int_cell oi = 0 then
+              fail "%s: E21 accepted nothing at 2x overload (stall, not \
+                    shedding)"
+                file
+          | _ -> ())
+        rows)
+    tables;
+  if not !saw_1x then fail "%s: E21 has no load=1x row" file;
+  if not !saw_2x then fail "%s: E21 has no load=2x row" file;
   Printf.printf "%s OK: %d experiment(s)\n" file (List.length exps)
