@@ -879,11 +879,15 @@ let serve_cmd =
       const run $ port_arg $ state_arg $ max_requests_arg $ incidents_arg)
 
 let recover_cmd =
-  let run dir render =
+  let run dir render dot =
     let sheet = Sheet.create () in
     let o = Durable.recover ~dir (Sheet.engine sheet) (Sheet.persist sheet) in
     Fmt.pr "%a@." Durable.pp_outcome o;
     if render then print_string (Sheet.render sheet);
+    (* node ids in the DOT are stable ids, i.e. the ids of the snapshot
+       this engine was just restored from — diffable against a render of
+       the engine that exported it *)
+    if dot then print_string (Inspect.to_dot (Sheet.engine sheet));
     0
   in
   let dir_arg =
@@ -895,8 +899,17 @@ let recover_cmd =
     let doc = "Render the recovered sheet after recovery." in
     Arg.(value & flag & info [ "render" ] ~doc)
   in
+  let dot_arg =
+    let doc =
+      "Print the recovered dependency graph in Graphviz DOT syntax. Node \
+       identities are snapshot-stable: they match the ids the exporting \
+       engine reported, not the restored engine's internal indices."
+    in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
   let doc = "Recover a durable spreadsheet state directory and report" in
-  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ dir_arg $ render_arg)
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const run $ dir_arg $ render_arg $ dot_arg)
 
 
 (* ---------------- the daemon ---------------- *)

@@ -1,5 +1,5 @@
 module G = Depgraph.Graph
-module Heap = Depgraph.Pairing_heap
+module Heap = Depgraph.Flat_heap
 module Uf = Depgraph.Union_find
 
 (* Tracing: `Logs.Src.set_level Engine.log_src (Some Debug)` (or the
@@ -9,6 +9,12 @@ module Uf = Depgraph.Union_find
 let log_src = Logs.Src.create "alphonse.engine" ~doc:"Alphonse engine tracing"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Without flambda, [Log.debug (fun m -> ...)] allocates its callback
+   closure even when tracing is off (the arguments it captures are
+   real). Hot sites ask first; one load and branch when disabled. *)
+let[@inline] dbg_on () =
+  match Logs.Src.level log_src with Some Logs.Debug -> true | _ -> false
 
 type strategy = Demand | Eager
 
@@ -121,11 +127,24 @@ type node = nd
 
 type frame = { fnode : nd; stamp : int }
 
+(* One undo-log entry of an open transaction. The engine's own log
+   points — the settle pop's mark restoration and the demand flip —
+   are recorded as typed constructors carrying the node or instance
+   index, not closures: a settle step inside a transaction allocates
+   two words instead of a closure per pop, and a Budget kill point
+   rolls back by dispatching on tags. [U_fun] remains for the typed
+   cells of the domain layer ([Var] restores contents it alone can
+   type). *)
+type undo =
+  | U_remark of nd (* rollback: re-mark the node inconsistent *)
+  | U_consistent of instance (* rollback: restore consistent = true *)
+  | U_fun of (unit -> unit)
+
 (* Undo log of an open transaction: [undos] restore the typed cells
    (newest first), [tmarked] are the nodes newly marked inconsistent
    during the batch, [ran] the instances (re-)executed during it. *)
 type txn = {
-  mutable undos : (unit -> unit) list;
+  mutable undos : undo list;
   mutable tmarked : nd list;
   mutable ran : nd list;
 }
@@ -183,7 +202,7 @@ type ctx = {
   mutable b_failed : (nd * nd list * bool * exn) list;
       (* node, saved preds, reuse_static, error *)
   mutable b_ran : nd list; (* for the open transaction's [ran] list *)
-  mutable b_undos : (unit -> unit) list; (* transaction undo closures *)
+  mutable b_undos : undo list; (* transaction undo entries *)
   mutable b_events : (float * Telemetry.event) list; (* newest first *)
   mutable b_execs : int;
   mutable b_first : int;
@@ -293,6 +312,20 @@ type t = {
   mutable fault_hook : (string -> unit) option;
   mutable self_audit : bool;
   mutable journal : journal option;
+  (* Maintained invariant:
+       quick = (par = None) && (txn = None) && (journal = None)
+               && (ctx0.stack = [])
+     — the regime in which a tracked read is exactly the typed cell
+     load and a tracked write to an already-queued cell is exactly the
+     store (no recording, no journaling, no undo logging, and a mark
+     would be a guarded no-op). [Var] reads this through one accessor
+     to skip the whole engine call path; every site that changes one
+     of the four inputs refreshes it. *)
+  mutable quick : bool;
+  (* live node id -> snapshot node id, installed by [import] so
+     telemetry, profiles and DOT reports keep the snapshot's stable
+     identities across a restore *)
+  mutable stable_ids : (int, int) Hashtbl.t option;
   (* counters *)
   mutable c_executions : int;
   mutable c_first : int;
@@ -323,8 +356,7 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
   | _ -> ());
   let leq =
     match scheduling with
-    | Creation_order | Topological | Parallel _ ->
-      fun a b -> not (G.order_lt b a)
+    | Creation_order | Topological | Parallel _ -> G.order_leq
     | Fifo -> fun a b -> (G.payload a).seq <= (G.payload b).seq
   in
   {
@@ -353,6 +385,8 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     txn = None;
     fault_hook = None;
     journal = None;
+    quick = true;
+    stable_ids = None;
     self_audit;
     c_executions = 0;
     c_first = 0;
@@ -372,6 +406,43 @@ let create ?(partitioning = false) ?(default_strategy = Demand)
     c_par_levels = 0;
     c_par_tasks = 0;
   }
+
+(* Recompute the [quick] invariant from its four inputs; called by
+   every site that changes one of them (transaction open/close,
+   journal attach, parallel settle begin/end, serial frame push/pop). *)
+let refresh_quick t =
+  t.quick <-
+    (match t.par with
+    | Some _ -> false
+    | None -> (
+      match t.txn with
+      | Some _ -> false
+      | None -> (
+        match t.journal with
+        | Some _ -> false
+        | None -> ( match t.ctx0.stack with [] -> true | _ :: _ -> false))))
+
+let[@inline] quick t = t.quick
+
+let quick_write_ok t node =
+  t.quick
+  &&
+  let p = G.payload node in
+  p.queued && not p.discarded
+
+(* The stable identity of a node for reports: its id in the snapshot
+   this engine was restored from, or its live id when it was never
+   imported. Telemetry emission, [export] and the DOT/profile readers
+   all go through this, so identities agree across a restore. *)
+let eid t node =
+  match t.stable_ids with
+  | None -> G.id node
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl (G.id node) with
+    | Some sid -> sid
+    | None -> G.id node)
+
+let stable_id = eid
 
 (* ------------------------------------------------------------------ *)
 (* Execution contexts and the engine lock                              *)
@@ -477,6 +548,12 @@ let[@inline] emit t ev =
     let c = ctx t in
     if c == t.ctx0 then Telemetry.emit tm (ev ())
     else c.b_events <- (Telemetry.now tm, ev ()) :: c.b_events
+
+(* Hot sites ask before building the event callback: without flambda
+   the [fun () -> ...] argument to [emit] is a real allocation even on
+   the disabled path. *)
+let[@inline] tele_on t =
+  match t.telemetry with None -> false | Some _ -> true
 
 let set_telemetry t tm = t.telemetry <- tm
 let telemetry t = t.telemetry
@@ -623,7 +700,10 @@ let masked t f =
 let set_self_audit t b = t.self_audit <- b
 let self_audit t = t.self_audit
 
-let set_journal t j = t.journal <- j
+let set_journal t j =
+  t.journal <- j;
+  refresh_quick t
+
 let journal t = t.journal
 
 let jwrite t node =
@@ -633,15 +713,24 @@ let jwrite t node =
 
 let jtxn t ev = match t.journal with None -> () | Some j -> j.on_txn ev
 
-let in_transaction t = t.txn <> None
+let[@inline] in_transaction t =
+  match t.txn with None -> false | Some _ -> true
+
+let push_undo t tx u =
+  let c = ctx t in
+  if buffered t c then c.b_undos <- u :: c.b_undos
+  else tx.undos <- u :: tx.undos
 
 let txn_log t undo =
-  match t.txn with
-  | None -> ()
-  | Some tx ->
-    let c = ctx t in
-    if buffered t c then c.b_undos <- undo :: c.b_undos
-    else tx.undos <- undo :: tx.undos
+  match t.txn with None -> () | Some tx -> push_undo t tx (U_fun undo)
+
+(* Typed engine log points: the constructor is only allocated once a
+   transaction is known to be open. *)
+let[@inline] log_remark t node =
+  match t.txn with None -> () | Some tx -> push_undo t tx (U_remark node)
+
+let[@inline] log_consistent t inst =
+  match t.txn with None -> () | Some tx -> push_undo t tx (U_consistent inst)
 
 let partition_of t node =
   if not t.use_partitions then t.global_part
@@ -658,14 +747,16 @@ let mark_inconsistent ?cause t node =
     (* before any mutation: a fault here is a clean no-op, and callers
        that must not lose the mark redo it under [masked] *)
     poke t "mark";
-    Log.debug (fun m -> m "mark inconsistent: %s#%d" p.name (G.id node));
-    emit t (fun () ->
-        Telemetry.Marked
-          {
-            id = G.id node;
-            name = p.name;
-            cause = Option.map G.id cause;
-          });
+    if dbg_on () then
+      Log.debug (fun m -> m "mark inconsistent: %s#%d" p.name (G.id node));
+    if tele_on t then
+      emit t (fun () ->
+          Telemetry.Marked
+            {
+              id = eid t node;
+              name = p.name;
+              cause = Option.map (eid t) cause;
+            });
     p.queued <- true;
     t.seq_counter <- t.seq_counter + 1;
     p.seq <- t.seq_counter;
@@ -711,7 +802,7 @@ let new_storage t ~name =
       { name; kind = Storage; queued = false; on_stack = false;
         discarded = false; seq = 0; part_elt = None; writers = [] }
   in
-  emit t (fun () -> Telemetry.Storage_created { id = G.id node; name });
+  emit t (fun () -> Telemetry.Storage_created { id = eid t node; name });
   node
 
 let new_instance t ~name ~strategy ?(static_deps = false) ~recompute () =
@@ -731,7 +822,7 @@ let new_instance t ~name ~strategy ?(static_deps = false) ~recompute () =
       writers = [];
     }
   in
-  emit t (fun () -> Telemetry.Instance_created { id = G.id node; name });
+  emit t (fun () -> Telemetry.Instance_created { id = eid t node; name });
   node
 
 (* Merge the partitions of the two endpoints of a new edge (§6.3 dynamic
@@ -742,7 +833,7 @@ let link_partitions t src dst =
     | Some a, Some b ->
       if not (Uf.same a b) then begin
         t.c_unions <- t.c_unions + 1;
-        emit t (fun () -> Telemetry.Union { a = G.id src; b = G.id dst });
+        emit t (fun () -> Telemetry.Union { a = eid t src; b = eid t dst });
         let merge keep absorbed =
           Heap.meld keep.queue absorbed.queue;
           if absorbed.on_dirty_list && not keep.on_dirty_list then begin
@@ -760,8 +851,13 @@ let link_partitions t src dst =
 let note_writer src consumer =
   let p = G.payload src in
   match p.kind with
-  | Storage -> if not (List.memq consumer p.writers) then
-      p.writers <- consumer :: p.writers
+  | Storage -> (
+    (* most writes are the same consumer re-writing the cell it wrote
+       last time — catch that with a head probe before the O(n) scan *)
+    match p.writers with
+    | w :: _ when w == consumer -> ()
+    | ws ->
+      if not (List.memq consumer ws) then p.writers <- consumer :: ws)
   | Instance _ -> ()
 
 (* Record a dependency edge src → consumer for the executing instance, if
@@ -780,8 +876,9 @@ let record_dependency ?(is_write = false) t src =
            fault counts are schedule-independent); the graph mutation is
            deferred to the barrier *)
         poke t "edge";
-        emit t (fun () ->
-            Telemetry.Edge_added { src = G.id src; dst = G.id consumer });
+        if tele_on t then
+          emit t (fun () ->
+              Telemetry.Edge_added { src = eid t src; dst = eid t consumer });
         c.t_edges <- (src, consumer, stamp, is_write) :: c.t_edges
       end
       else begin
@@ -801,8 +898,9 @@ let record_dependency ?(is_write = false) t src =
         end;
         G.add_edge ~stamp ~src ~dst:consumer;
         if is_write then note_writer src consumer;
-        emit t (fun () ->
-            Telemetry.Edge_added { src = G.id src; dst = G.id consumer });
+        if tele_on t then
+          emit t (fun () ->
+              Telemetry.Edge_added { src = eid t src; dst = eid t consumer });
         link_partitions t src consumer
       end
 
@@ -885,7 +983,7 @@ let record_failure t node p (inst : instance) e =
             (G.id node));
       emit t (fun () ->
           Telemetry.Instance_poisoned
-            { id = G.id node; name = p.name; error = Printexc.to_string e })
+            { id = eid t node; name = p.name; error = Printexc.to_string e })
     end
     else begin
       if not (List.memq node t.quarantined) then
@@ -896,7 +994,7 @@ let record_failure t node p (inst : instance) e =
       emit t (fun () ->
           Telemetry.Quarantined
             {
-              id = G.id node;
+              id = eid t node;
               name = p.name;
               attempt = inst.failures;
               error = Printexc.to_string e;
@@ -923,7 +1021,7 @@ let requeue_quarantined t =
           | Some m -> Metrics.inc m.m_retries);
           emit t (fun () ->
               Telemetry.Retried
-                { id = G.id node; name = p.name; attempt = inst.failures });
+                { id = eid t node; name = p.name; attempt = inst.failures });
           masked t (fun () -> mark_inconsistent t node)
         | _ -> ())
       q
@@ -962,6 +1060,33 @@ let next_stamp t = Atomic.fetch_and_add t.exec_serial 1 + 1
    Runs on the calling context's own stack: during a parallel settle a
    worker reaches here only under the engine lock (nested forcing), so
    the direct graph mutations below stay single-writer. *)
+(* Drop whatever edge set a failed run recorded and reinstate the one of
+   the last successful execution (sources evicted meanwhile are skipped),
+   under a fresh stamp for dedup. [saved = None] means the pre-execution
+   clear never ran — the intact edge set must be left alone. Top-level
+   (not a closure inside [run_instance]) so the happy path allocates no
+   environment for a handler it never runs. *)
+let restore_saved_preds t node saved =
+  match saved with
+  | None -> ()
+  | Some preds ->
+    masked t (fun () ->
+        G.clear_preds t.graph node;
+        let st = next_stamp t in
+        List.iter
+          (fun src ->
+            if not (G.payload src).discarded then
+              G.add_edge ~stamp:st ~src ~dst:node)
+          preds)
+
+(* Pop the frame pushed by [run_instance] — on success and on unwind. *)
+let pop_frame t c p saved_mask =
+  c.mask <- saved_mask;
+  p.on_stack <- false;
+  c.stack_depth <- c.stack_depth - 1;
+  c.stack <- List.tl c.stack;
+  refresh_quick t
+
 let run_instance t node p inst =
   let c = ctx t in
   if p.on_stack then raise (Cycle p.name);
@@ -972,30 +1097,10 @@ let run_instance t node p inst =
      the dependency edges of its first execution and records none — its
      frame runs with edge recording masked (nested frames restore it). *)
   let reuse_static = inst.static_deps && inst.ever_ran in
-  (* snapshot the current predecessor set so a failed execution can put
-     it back (the paper's RemovePredEdges is destructive) *)
-  let saved_preds =
-    if reuse_static then []
-    else begin
-      let acc = ref [] in
-      G.iter_pred (fun src -> acc := src :: !acc) node;
-      !acc
-    end
-  in
-  (* drop whatever edge set the node currently has and reinstate the one
-     of the last successful execution (sources evicted meanwhile are
-     skipped), under a fresh stamp for dedup *)
-  let restore_preds () =
-    if not reuse_static then
-      masked t (fun () ->
-          G.clear_preds t.graph node;
-          let st = next_stamp t in
-          List.iter
-            (fun src ->
-              if not (G.payload src).discarded then
-                G.add_edge ~stamp:st ~src ~dst:node)
-            saved_preds)
-  in
+  (* The predecessor set is snapshotted by the same traversal that
+     removes it (the paper's RemovePredEdges is destructive), so a
+     failed execution can put it back — see [restore_saved_preds]. *)
+  let saved_preds = ref None in
   (* Pre-body faults — the depth watchdog, an injected "clear-preds"
      fault — must take the same failure path as a raise from the body: a
      settle loop has already popped this node and cleared [queued], so a
@@ -1013,58 +1118,56 @@ let run_instance t node p inst =
      | _ -> ());
      if not reuse_static then begin
        poke t "clear-preds";
-       if inst.ever_ran then
+       if inst.ever_ran && tele_on t then
          emit t (fun () ->
-             Telemetry.Preds_cleared { id = G.id node; name = p.name });
-       G.clear_preds t.graph node
+             Telemetry.Preds_cleared { id = eid t node; name = p.name });
+       saved_preds := Some (G.clear_preds_collect t.graph node)
      end
    with e ->
-     restore_preds ();
+     restore_saved_preds t node !saved_preds;
      inst.consistent <- false;
      record_failure t node p inst e;
      raise e);
   let stamp = next_stamp t in
   c.stack <- { fnode = node; stamp } :: c.stack;
+  t.quick <- false;
   c.stack_depth <- c.stack_depth + 1;
   p.on_stack <- true;
   p.queued <- false;
   inst.consistent <- true;
   let saved_mask = c.mask in
   c.mask <- not reuse_static;
-  let restore () =
-    c.mask <- saved_mask;
-    p.on_stack <- false;
-    c.stack_depth <- c.stack_depth - 1;
-    c.stack <- List.tl c.stack
-  in
   (match t.txn with
   | Some tx -> if buffered t c then c.b_ran <- node :: c.b_ran
     else tx.ran <- node :: tx.ran
   | None -> ());
-  emit t (fun () ->
-      Telemetry.Exec_begin
-        { id = G.id node; name = p.name; first = not inst.ever_ran });
+  if tele_on t then
+    emit t (fun () ->
+        Telemetry.Exec_begin
+          { id = eid t node; name = p.name; first = not inst.ever_ran });
   let changed =
     try
       poke t "exec-begin";
       inst.recompute ()
     with e ->
-      restore ();
+      pop_frame t c p saved_mask;
       (* unwind: drop the edges recorded by the failed run and restore
          those of the last successful one *)
-      restore_preds ();
+      restore_saved_preds t node !saved_preds;
       (* leave the instance inconsistent so a later call retries *)
       inst.consistent <- false;
       record_failure t node p inst e;
       emit t (fun () ->
           Telemetry.Exec_end
-            { id = G.id node; name = p.name; changed = false; ok = false });
+            { id = eid t node; name = p.name; changed = false; ok = false });
       raise e
   in
-  restore ();
+  pop_frame t c p saved_mask;
   inst.failures <- 0;
-  emit t (fun () ->
-      Telemetry.Exec_end { id = G.id node; name = p.name; changed; ok = true });
+  if tele_on t then
+    emit t (fun () ->
+        Telemetry.Exec_end
+          { id = eid t node; name = p.name; changed; ok = true });
   (match t.metrics with
   | None -> ()
   | Some m ->
@@ -1074,10 +1177,11 @@ let run_instance t node p inst =
     if inst.ever_ran && not changed then Metrics.inc m.m_cutoffs);
   if buffered t c then c.b_execs <- c.b_execs + 1
   else t.c_executions <- t.c_executions + 1;
-  Log.debug (fun m ->
-      m "%s: %s#%d (changed=%b)"
-        (if inst.ever_ran then "re-executed" else "first execution")
-        p.name (G.id node) changed);
+  if dbg_on () then
+    Log.debug (fun m ->
+        m "%s: %s#%d (changed=%b)"
+          (if inst.ever_ran then "re-executed" else "first execution")
+          p.name (G.id node) changed);
   if not inst.ever_ran then begin
     if buffered t c then c.b_first <- c.b_first + 1
     else t.c_first <- t.c_first + 1;
@@ -1107,7 +1211,7 @@ let process_inconsistent t node p =
            flip must be undoable, or a rollback after a cancelled settle
            leaves this instance already-inconsistent — a later settle
            would then skip the flip and never notify its dependents *)
-        txn_log t (fun () -> inst.consistent <- true);
+        log_consistent t inst;
         inst.consistent <- false;
         mark_succs ~cause:node t node
       end
@@ -1272,56 +1376,66 @@ let process_guarded t node p =
            else if poisoned t node then "poisoned"
            else "structural failure: degrades to demand recomputation"))
 
+(* The drain loop, as a top-level recursion so entering a settle builds
+   no closures — [settle_partition] runs on every incremental call that
+   finds its partition dirty, which the AVL bench (E4) does tens of
+   times per insert. [skipped] accumulates nodes currently on the call
+   stack, which must not be processed here (an eager re-execution would
+   be a false cycle); they stay queued and are re-inserted after the
+   drain — also when the drain raises. *)
+let rec settle_drain t part skipped =
+  (* poked (and budget-checked) before the pop so a fault or a
+     cancellation leaves the heap intact *)
+  poke t "settle-pop";
+  budget_check t;
+  if t.settle_fuel = 0 then degrade_to_exhaustive t
+  else
+    match Heap.pop_min part.queue with
+    | None -> ()
+    | Some node ->
+      let p = G.payload node in
+      if p.queued then
+        if p.on_stack then skipped := node :: !skipped
+        else begin
+          if dbg_on () then
+            Log.debug (fun m -> m "settle: %s#%d" p.name (G.id node));
+          if tele_on t then
+            emit t (fun () ->
+                Telemetry.Settle_pop { id = eid t node; name = p.name });
+          p.queued <- false;
+          (* the pop consumes the mark: inside a transaction, log
+             its restoration so a rollback cannot strand a node
+             that was queued before the batch began *)
+          log_remark t node;
+          budget_step t;
+          t.c_steps <- t.c_steps + 1;
+          (match t.metrics with
+          | None -> ()
+          | Some m -> Metrics.inc m.m_settle_steps);
+          if t.settle_fuel > 0 then t.settle_fuel <- t.settle_fuel - 1;
+          process_guarded t node p;
+          if t.self_audit then audit_step t
+        end;
+      settle_drain t part skipped
+
 let settle_partition t part =
   if not t.settling then begin
     t.settling <- true;
     t.settle_fuel <- (match t.max_settle_steps with Some n -> n | None -> -1);
-    let finally () = t.settling <- false in
-    Fun.protect ~finally @@ fun () ->
-      (* Nodes currently on the call stack must not be processed here (an
-         eager re-execution would be a false cycle); they stay queued and
-         are re-inserted after the drain — also when the drain raises. *)
-      let skipped = ref [] in
-      let reinsert () =
-        List.iter (Heap.insert part.queue) !skipped;
-        skipped := []
-      in
-      Fun.protect ~finally:reinsert @@ fun () ->
-        let rec loop () =
-          (* poked (and budget-checked) before the pop so a fault or a
-             cancellation leaves the heap intact *)
-          poke t "settle-pop";
-          budget_check t;
-          if t.settle_fuel = 0 then degrade_to_exhaustive t
-          else
-            match Heap.pop_min part.queue with
-            | None -> ()
-            | Some node ->
-              let p = G.payload node in
-              if p.queued then
-                if p.on_stack then skipped := node :: !skipped
-                else begin
-                  Log.debug (fun m -> m "settle: %s#%d" p.name (G.id node));
-                  emit t (fun () ->
-                      Telemetry.Settle_pop { id = G.id node; name = p.name });
-                  p.queued <- false;
-                  (* the pop consumes the mark: inside a transaction, log
-                     its restoration so a rollback cannot strand a node
-                     that was queued before the batch began *)
-                  txn_log t (fun () -> mark_inconsistent t node);
-                  budget_step t;
-                  t.c_steps <- t.c_steps + 1;
-                  (match t.metrics with
-                  | None -> ()
-                  | Some m -> Metrics.inc m.m_settle_steps);
-                  if t.settle_fuel > 0 then t.settle_fuel <- t.settle_fuel - 1;
-                  process_guarded t node p;
-                  if t.self_audit then audit_step t
-                end;
-              loop ()
-        in
-        loop ();
-        if !skipped = [] then part.on_dirty_list <- false
+    let skipped = ref [] in
+    match settle_drain t part skipped with
+    | () ->
+      (* quiescence is judged before the skipped re-inserts: a partition
+         whose on-stack nodes went back into its heap is not quiescent
+         and keeps its dirty flag *)
+      if !skipped = [] then part.on_dirty_list <- false;
+      List.iter (Heap.insert part.queue) !skipped;
+      t.settling <- false
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      List.iter (Heap.insert part.queue) !skipped;
+      t.settling <- false;
+      Printexc.raise_with_backtrace e bt
   end
 
 let stabilize_serial_body t =
@@ -1355,10 +1469,14 @@ let stabilize_serial_body t =
 (* Settle sessions with actual work are counted and timed; the common
    already-quiescent stabilize (every [Var.set] triggers one) is not a
    session and stays off the histogram. *)
+let[@inline] has_work t =
+  match t.dirty_parts with
+  | _ :: _ -> true
+  | [] -> ( match t.quarantined with _ :: _ -> true | [] -> false)
+
 let stabilize_serial t =
   match t.metrics with
-  | Some m when (not t.settling) && (t.dirty_parts <> [] || t.quarantined <> [])
-    ->
+  | Some m when (not t.settling) && has_work t ->
     Metrics.inc m.m_settles_serial;
     let t0 = Metrics.now () in
     Fun.protect
@@ -1409,12 +1527,12 @@ let settle_bounded t ~max_steps =
                         (if p.queued then
                            if p.on_stack then skipped := node :: !skipped
                            else begin
-                             emit t (fun () ->
-                                 Telemetry.Settle_pop
-                                   { id = G.id node; name = p.name });
+                             if tele_on t then
+                               emit t (fun () ->
+                                   Telemetry.Settle_pop
+                                     { id = eid t node; name = p.name });
                              p.queued <- false;
-                             txn_log t (fun () ->
-                                 mark_inconsistent t node);
+                             log_remark t node;
                              decr budget;
                              budget_step t;
                              t.c_steps <- t.c_steps + 1;
@@ -1654,7 +1772,8 @@ let on_call_parallel t par node p inst =
     (match t.metrics with
     | None -> ()
     | Some m -> Metrics.inc m.m_hits);
-    emit t (fun () -> Telemetry.Cache_hit { id = G.id node; name = p.name })
+    if tele_on t then
+      emit t (fun () -> Telemetry.Cache_hit { id = eid t node; name = p.name })
   in
   if dirty p then begin
     (* release any held engine lock before blocking on the claim table:
@@ -1724,10 +1843,12 @@ let exec_task t par pt () =
       inst.consistent <- true;
       let saved_mask = c.mask in
       c.mask <- not pt.pt_reuse;
-      if t.txn <> None then c.b_ran <- node :: c.b_ran;
+      (match t.txn with
+      | Some _ -> c.b_ran <- node :: c.b_ran
+      | None -> ());
       emit t (fun () ->
           Telemetry.Exec_begin
-            { id = G.id node; name = p.name; first = not inst.ever_ran });
+            { id = eid t node; name = p.name; first = not inst.ever_ran });
       let restore () =
         c.mask <- saved_mask;
         p.on_stack <- false;
@@ -1743,7 +1864,7 @@ let exec_task t par pt () =
         inst.failures <- 0;
         emit t (fun () ->
             Telemetry.Exec_end
-              { id = G.id node; name = p.name; changed; ok = true });
+              { id = eid t node; name = p.name; changed; ok = true });
         c.b_execs <- c.b_execs + 1;
         (* metrics cells are atomics, so worker lanes update them
            directly rather than buffering for the barrier merge *)
@@ -1763,7 +1884,7 @@ let exec_task t par pt () =
         inst.consistent <- false;
         emit t (fun () ->
             Telemetry.Exec_end
-              { id = G.id node; name = p.name; changed = false; ok = false });
+              { id = eid t node; name = p.name; changed = false; ok = false });
         c.b_failed <- (node, pt.pt_saved, pt.pt_reuse, e) :: c.b_failed);
       c.t_edges <- []);
     task_done par node
@@ -1919,7 +2040,7 @@ let prep_eager t tasks node p inst =
       poke t "clear-preds";
       if inst.ever_ran then
         emit t (fun () ->
-            Telemetry.Preds_cleared { id = G.id node; name = p.name });
+            Telemetry.Preds_cleared { id = eid t node; name = p.name });
       G.clear_preds t.graph node
     end
   with
@@ -1994,9 +2115,11 @@ let run_level t par ~level queued =
       poke t "settle-pop";
       budget_check t;
       if t.settle_fuel = 0 then raise Par_degrade;
-      emit t (fun () -> Telemetry.Settle_pop { id = G.id node; name = p.name });
+      if tele_on t then
+        emit t (fun () ->
+            Telemetry.Settle_pop { id = eid t node; name = p.name });
       p.queued <- false;
-      txn_log t (fun () -> mark_inconsistent t node);
+      log_remark t node;
       budget_step t;
       t.c_steps <- t.c_steps + 1;
       (match t.metrics with
@@ -2082,13 +2205,18 @@ let settle_parallel t ~domains =
   if domains < 1 then
     invalid_arg "Engine.settle_parallel: domains must be >= 1";
   if t.settling then ()
-  else if t.ctx0.stack <> [] || t.par <> None then
+  else if
+    (match t.ctx0.stack with _ :: _ -> true | [] -> false)
+    || match t.par with Some _ -> true | None -> false
+  then
     (* called during an execution: the serial path's skip-on-stack
        handling applies *)
     stabilize_serial t
   else begin
     requeue_quarantined t;
-    if t.dirty_parts <> [] then begin
+    match t.dirty_parts with
+    | [] -> ()
+    | _ :: _ ->
       t.settling <- true;
       t.settle_fuel <-
         (match t.max_settle_steps with Some n -> n | None -> -1);
@@ -2125,8 +2253,10 @@ let settle_parallel t ~domains =
         }
       in
       t.par <- Some par;
+      t.quick <- false;
       let finally () =
         t.par <- None;
+        refresh_quick t;
         t.settling <- false;
         match t.metrics with
         | None -> ()
@@ -2145,12 +2275,11 @@ let settle_parallel t ~domains =
             | exception Par_degrade -> ())
         in
         rounds ()
-    end
   end
 
 let stabilize t =
   let c = ctx t in
-  if t.par <> None && c != t.ctx0 then
+  if (match t.par with Some _ -> true | None -> false) && c != t.ctx0 then
     (* from inside a pool lane: the settle is already running *)
     ()
   else
@@ -2170,6 +2299,7 @@ let stabilize t =
    popped entries whose [queued] flag is off. *)
 let rollback_txn t tx =
   t.txn <- None;
+  refresh_quick t;
   masked t @@ fun () ->
     List.iter
       (fun node ->
@@ -2177,7 +2307,13 @@ let rollback_txn t tx =
         if p.queued then p.queued <- false)
       tx.tmarked;
     let undone = List.length tx.undos in
-    List.iter (fun u -> u ()) tx.undos;
+    List.iter
+      (fun u ->
+        match u with
+        | U_remark node -> mark_inconsistent t node
+        | U_consistent inst -> inst.consistent <- true
+        | U_fun f -> f ())
+      tx.undos;
     let remarked = ref 0 in
     List.iter
       (fun node ->
@@ -2205,12 +2341,14 @@ let transact t f =
     invalid_arg "Engine.transact: called during an incremental execution";
   let tx = { undos = []; tmarked = []; ran = [] } in
   t.txn <- Some tx;
+  t.quick <- false;
   emit t (fun () -> Telemetry.Txn_begin);
   (match jtxn t `Begin with
   | () -> ()
   | exception e ->
     (* nothing ran yet: no writes to undo, just leave the transaction *)
     t.txn <- None;
+    refresh_quick t;
     raise e);
   match
     let v = f () in
@@ -2227,6 +2365,7 @@ let transact t f =
   with
   | v ->
     t.txn <- None;
+    refresh_quick t;
     emit t (fun () -> Telemetry.Txn_commit { marks = List.length tx.tmarked });
     v
   | exception e ->
@@ -2258,7 +2397,6 @@ let on_call t node =
         record_dependency t node;
         raise (Cycle p.name)
       end;
-      let executed = ref false in
       (* Before trusting the cached value, propagate the pending
          inconsistencies of this node's partition — Algorithm 5's
          "IF SetSize(Inconsistent) > 0 THEN Evaluate". Inside the evaluator
@@ -2280,23 +2418,27 @@ let on_call t node =
         match t.scheduling with
         | Parallel { domains } -> settle_parallel t ~domains
         | Creation_order | Topological | Fifo ->
-          settle_partition t (partition_of t node));
-      if dirty p then begin
+          (* quiescent partitions skip the settle machinery (and its
+             pre-pop fault/budget probe) entirely: a cache hit's settle
+             share is two loads and a branch *)
+          let part = partition_of t node in
+          if part.on_dirty_list || not (Heap.is_empty part.queue) then
+            settle_partition t part);
+      if dirty p then
         (try force t node p inst
          with e ->
            (* the caller observed this failure: record the dependency so a
               later recovery of this instance re-invalidates the caller *)
            masked t (fun () -> record_dependency t node);
-           raise e);
-        executed := true
-      end;
-      if (not !executed) && inst.ever_ran then begin
+           raise e)
+      else if inst.ever_ran then begin
         t.c_hits <- t.c_hits + 1;
         (match t.metrics with
         | None -> ()
         | Some m -> Metrics.inc m.m_hits);
-        emit t (fun () ->
-            Telemetry.Cache_hit { id = G.id node; name = p.name })
+        if tele_on t then
+          emit t (fun () ->
+              Telemetry.Cache_hit { id = eid t node; name = p.name })
       end;
       (* The dependency edge is recorded only now, after any forcing, so the
          consumer is never spuriously invalidated by the fresh value it is
@@ -2331,7 +2473,7 @@ let discard t node =
   p.discarded <- true;
   t.c_evictions <- t.c_evictions + 1;
   t.quarantined <- List.filter (fun n -> not (n == node)) t.quarantined;
-  emit t (fun () -> Telemetry.Evicted { id = G.id node; name = p.name });
+  emit t (fun () -> Telemetry.Evicted { id = eid t node; name = p.name });
   G.remove_node t.graph node
 
 let unchecked t f =
@@ -2433,14 +2575,20 @@ let iter_node_writers f node =
 let num n = Json.Num (float_of_int n)
 
 let export t =
+  (* node ids are written through [eid]: an engine that was itself
+     restored re-exports the ids of the snapshot lineage it came from,
+     so identities stay stable across restart chains *)
   let nodes =
     List.filter (fun n -> not (G.payload n).discarded) t.all_nodes
-    |> List.sort (fun a b -> compare (G.id a) (G.id b))
+    |> List.sort (fun a b ->
+           match compare (eid t a) (eid t b) with
+           | 0 -> compare (G.id a) (G.id b)
+           | c -> c)
   in
   let node_json n =
     let p = G.payload n in
     let base =
-      [ ("id", num (G.id n)); ("name", Json.Str p.name);
+      [ ("id", num (eid t n)); ("name", Json.Str p.name);
         ("queued", Json.Bool p.queued) ]
     in
     match p.kind with
@@ -2467,7 +2615,7 @@ let export t =
         G.iter_succ
           (fun dst ->
             if not (G.payload dst).discarded then
-              acc := Json.Arr [ num (G.id n); num (G.id dst) ] :: !acc)
+              acc := Json.Arr [ num (eid t n); num (eid t dst) ] :: !acc)
           n;
         List.rev !acc)
       nodes
@@ -2518,6 +2666,17 @@ let import t j =
   (match Json.member "schema" j with
   | Some (Json.Str "alphonse-engine/1") -> ()
   | _ -> warn "unrecognized engine snapshot schema");
+  (* stable-identity remap: matched live nodes adopt the snapshot's
+     node ids for every report surface (telemetry, profiles, DOT,
+     re-export) — see [eid] *)
+  let remap =
+    match t.stable_ids with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      t.stable_ids <- Some tbl;
+      tbl
+  in
   let by_name : (string, nd) Hashtbl.t = Hashtbl.create 64 in
   let ambiguous : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   iter_nodes t (fun n ->
@@ -2552,6 +2711,9 @@ let import t j =
         end
       | Some n -> (
         incr matched;
+        (match Option.bind (Json.member "id" nj) Json.to_float with
+        | Some f -> Hashtbl.replace remap (G.id n) (int_of_float f)
+        | None -> ());
         let p = G.payload n in
         match p.kind with
         | Storage -> if flag "queued" then masked t (fun () -> mark_inconsistent t n)

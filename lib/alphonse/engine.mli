@@ -43,6 +43,7 @@ val set_telemetry : t -> Telemetry.t option -> unit
     single predictable branch and allocates nothing. *)
 
 val telemetry : t -> Telemetry.t option
+(** The attached recorder, or [None]. *)
 
 val set_metrics : t -> Metrics.t option -> unit
 (** Attaches (or detaches) a metrics registry. The engine resolves its
@@ -156,9 +157,16 @@ val create :
     step. *)
 
 val default_strategy : t -> strategy
+(** The strategy applied to instances created without an explicit one. *)
+
 val partitioning : t -> bool
+(** Whether §6.3 dynamic partitioning is enabled for this engine. *)
+
 val scheduling : t -> scheduling
+(** The inconsistent-set drain order this engine was created with. *)
+
 val max_retries : t -> int
+(** Consecutive execution failures before an instance is poisoned. *)
 
 (** {1 Storage side (used by [Var])} *)
 
@@ -289,6 +297,7 @@ val set_budget : t -> Budget.t option -> unit
     queued and resumable. *)
 
 val budget : t -> Budget.t option
+(** The currently armed budget, or [None]. *)
 
 val with_budget : t -> Budget.t -> (unit -> 'a) -> 'a
 (** [with_budget t b f] runs [f] with [b] armed, restoring the previous
@@ -360,11 +369,16 @@ val transact : t -> (unit -> 'a) -> 'a
     inside an incremental execution. *)
 
 val in_transaction : t -> bool
+(** Whether a {!transact} batch is currently open. *)
 
 val txn_log : t -> (unit -> unit) -> unit
 (** Registers an undo action with the open transaction (no-op outside
     one). Typed-cell owners ({!Var}) call this before overwriting their
-    contents so {!transact} can roll them back. *)
+    contents so {!transact} can roll them back. The engine's own log
+    points (settle-pop mark restoration, the demand consistency flip)
+    do not pass through here — they are stored as typed node/instance
+    indices, not closures, so a settle step inside a transaction stays
+    allocation-light. *)
 
 val quarantined : t -> node list
 (** Instances whose last execution failed and that await a bounded retry
@@ -372,6 +386,8 @@ val quarantined : t -> node list
     retry on their next call). *)
 
 val poisoned : t -> node -> bool
+(** Whether the instance exhausted its retry budget (see {!Poisoned}). *)
+
 val poison_error : t -> node -> exn option
 (** The exception that poisoned the instance, or [None]. *)
 
@@ -412,6 +428,7 @@ val set_self_audit : t -> bool -> unit
     [self_audit]). *)
 
 val self_audit : t -> bool
+(** Whether per-settle-step auditing is currently enabled. *)
 
 (** {1 Fault injection (engine half of {!Faults})} *)
 
@@ -428,6 +445,7 @@ val set_fault_hook : t -> (string -> unit) option -> unit
     machinery — see {!Faults} for deterministic injectors. *)
 
 val fault_hook : t -> (string -> unit) option
+(** The installed fault hook, or [None]. *)
 
 (** {1 Durability hooks (engine half of {!Durable})} *)
 
@@ -452,6 +470,7 @@ val set_journal : t -> journal option -> unit
     engine; {!Durable.attach} manages it. *)
 
 val journal : t -> journal option
+(** The installed journal hooks, or [None]. *)
 
 val export : t -> Json.t
 (** The engine's {e logical} state as JSON: per-node
@@ -496,14 +515,49 @@ val recording : t -> bool
     {!unchecked}. [Var] uses this to follow Algorithm 3's discipline of
     materializing storage nodes only on tracked accesses. *)
 
+(** {1 The quick regime (the §6.1 ~1x fast path)}
+
+    The engine maintains one boolean invariant, [quick], true exactly
+    when no parallel settle is active, no transaction is open, no
+    journal is attached, and no incremental instance is executing. In
+    that regime a tracked read is semantically just the typed cell
+    load (nothing to record), and a tracked write to an
+    already-queued, live cell is just the store (the journal append,
+    undo log and inconsistency mark would all be no-ops). [Var] tests
+    these two predicates to bypass the engine call path entirely,
+    which is what holds the E6 tracked-loop overhead to a small
+    constant over a plain [ref]. See docs/PERFORMANCE.md. *)
+
+val quick : t -> bool
+(** Whether the engine is in the quick regime right now. A single
+    field load — cheap enough to test on every tracked access. *)
+
+val quick_write_ok : t -> node -> bool
+(** [quick_write_ok t n] is true when a changed write to storage node
+    [n] may skip the engine entirely: {!quick} holds and [n] is
+    already marked inconsistent (and not discarded), so journaling,
+    undo logging and marking would each be no-ops. The caller may
+    then just store the new contents. *)
+
 val node_name : node -> string
+(** The name the node was created with. *)
+
 val node_id : node -> int
+(** The node's live engine-lifetime id (see also {!stable_id}). *)
+
+val stable_id : t -> node -> int
+(** The node's {e stable} identity for reports: after an {!import},
+    matched nodes adopt the snapshot's node ids, so telemetry,
+    profiles, DOT dumps and re-exports keep the identities a
+    pre-restart trace used. For nodes never restored (or engines never
+    imported into) this is just {!node_id}. *)
 
 val succ_count : node -> int
 (** Live dependents of a node — exposed for the E8 dependency-count
     benches. *)
 
 val pred_count : node -> int
+(** Live dependencies of a node. *)
 
 (** {1 Statistics (benches E1–E11)} *)
 
@@ -531,19 +585,29 @@ type stats = {
 }
 
 val stats : t -> stats
+(** The engine's lifetime counters (see {!type:stats}). *)
 
 val reset_stats : t -> unit
 (** Zeroes the counters of {!stats} (graph totals are unaffected). *)
 
 val graph_stats : t -> Depgraph.Graph.stats
+(** Node/edge/order counters of the underlying arena graph. *)
 
 val iter_nodes : t -> (node -> unit) -> unit
 (** Iterates over all live nodes, for {!Inspect}. *)
 
 val node_kind : node -> [ `Storage | `Instance ]
+(** Whether the node is a storage location or an instance. *)
+
 val node_dirty : node -> bool
+(** Whether the node is pending propagation (queued, or an instance
+    flagged inconsistent). *)
+
 val iter_node_succ : (node -> unit) -> node -> unit
+(** Iterates over a node's dependents, for {!Inspect}. *)
+
 val iter_node_pred : (node -> unit) -> node -> unit
+(** Iterates over a node's dependencies, for {!Inspect}. *)
 
 val iter_node_writers : (node -> unit) -> node -> unit
 (** Tracked writers of a storage node, oldest-recorded first — the

@@ -1,78 +1,118 @@
+(* Open-addressing hash table (linear probing), one flat slot array.
+
+   [find] sits on the engine's hottest path — every incremental call
+   resolves its instance through it — so the layout is chosen for load
+   count: probe = one array read + one key compare, no chain of cons
+   cells. Capacities are powers of two (mask, not modulo) and the table
+   grows at load factor 1/2.
+
+   Concurrency contract (unchanged from the chained version): writers
+   are serialized by Engine.critical; readers may race a writer. A
+   binding is published by a single store of an immutable [Bind] block,
+   and [grow] fills a fresh array before swapping it in, so a racing
+   [find] sees either the old or the new state — at worst it misses a
+   binding added after it snapshotted the array, which callers handle
+   by re-checking under the lock before creating. [Tomb] stones keep
+   probe chains intact across [remove]; they are recycled by the next
+   [grow]. *)
+
+type ('k, 'v) slot = Empty | Tomb | Bind of 'k * 'v
+
 type ('k, 'v) t = {
   hash : 'k -> int;
   equal : 'k -> 'k -> bool;
-  mutable buckets : ('k * 'v) list array;
-  mutable size : int;
+  mutable slots : ('k, 'v) slot array;
+  mutable size : int;  (* live bindings *)
+  mutable used : int;  (* live bindings + tombstones *)
 }
 
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
 let create ?(initial_capacity = 16) ~hash ~equal () =
-  let cap = max 1 initial_capacity in
-  { hash; equal; buckets = Array.make cap []; size = 0 }
+  let cap = pow2_at_least (max 2 initial_capacity) 2 in
+  { hash; equal; slots = Array.make cap Empty; size = 0; used = 0 }
 
 let length t = t.size
 
-let index t k = t.hash k land max_int mod Array.length t.buckets
-
 let find t k =
-  (* Snapshot the bucket array once: a concurrent [grow] (writers are
-     serialized by Engine.critical) swaps [t.buckets], and computing the
-     index against one array while reading another would alias the
-     wrong chain. Chains themselves are immutable lists, so a snapshot
-     read is always internally consistent — at worst it misses a
-     binding added after the snapshot, which callers handle by
-     re-checking under the lock before creating. *)
-  let buckets = t.buckets in
-  let i = t.hash k land max_int mod Array.length buckets in
-  let rec go = function
-    | [] -> None
-    | (k', v) :: rest -> if t.equal k k' then Some v else go rest
+  (* snapshot: a concurrent [grow] swaps [t.slots] wholesale *)
+  let slots = t.slots in
+  let mask = Array.length slots - 1 in
+  let rec probe i =
+    match Array.unsafe_get slots i with
+    | Empty -> None
+    | Tomb -> probe ((i + 1) land mask)
+    | Bind (k', v) -> if t.equal k k' then Some v else probe ((i + 1) land mask)
   in
-  go buckets.(i)
+  probe (t.hash k land mask)
+
+(* Insert into [slots] directly; reuses the first tombstone on the probe
+   path. Only called under the writer lock. *)
+let put slots mask hash equal k v =
+  let rec probe i tomb =
+    match slots.(i) with
+    | Empty ->
+      let j = match tomb with Some j -> j | None -> i in
+      slots.(j) <- Bind (k, v);
+      tomb <> None
+    | Tomb ->
+      let tomb = match tomb with Some _ -> tomb | None -> Some i in
+      probe ((i + 1) land mask) tomb
+    | Bind (k', _) ->
+      if equal k k' then invalid_arg "Htbl.add: key already bound"
+      else probe ((i + 1) land mask) tomb
+  in
+  probe (hash k land mask) None
 
 let grow t =
-  let old = t.buckets in
-  t.buckets <- Array.make (2 * Array.length old) [];
+  let old = t.slots in
+  let cap = Array.length old in
+  (* double only when at least half the occupancy is live; otherwise the
+     same capacity sheds the tombstones *)
+  let cap' = if 2 * t.size >= cap then 2 * cap else cap in
+  let slots = Array.make cap' Empty in
+  let mask = cap' - 1 in
   Array.iter
-    (fun chain ->
-      List.iter
-        (fun ((k, _) as binding) ->
-          let i = index t k in
-          t.buckets.(i) <- binding :: t.buckets.(i))
-        chain)
-    old
+    (function
+      | Bind (k, v) -> ignore (put slots mask t.hash t.equal k v)
+      | Empty | Tomb -> ())
+    old;
+  t.used <- t.size;
+  (* publish last: racing finds probe a fully-formed array *)
+  t.slots <- slots
 
 let add t k v =
-  (match find t k with
-  | Some _ -> invalid_arg "Htbl.add: key already bound"
-  | None -> ());
-  if t.size >= 2 * Array.length t.buckets then grow t;
-  let i = index t k in
-  t.buckets.(i) <- (k, v) :: t.buckets.(i);
+  if 2 * (t.used + 1) > Array.length t.slots then grow t;
+  let slots = t.slots in
+  if put slots (Array.length slots - 1) t.hash t.equal k v then ()
+  else t.used <- t.used + 1;
   t.size <- t.size + 1
 
 let remove t k =
-  let i = index t k in
-  let removed = ref false in
-  let rec go = function
-    | [] -> []
-    | ((k', _) as binding) :: rest ->
-      if (not !removed) && t.equal k k' then begin
-        removed := true;
-        rest
+  let slots = t.slots in
+  let mask = Array.length slots - 1 in
+  let rec probe i =
+    match slots.(i) with
+    | Empty -> ()
+    | Tomb -> probe ((i + 1) land mask)
+    | Bind (k', _) ->
+      if t.equal k k' then begin
+        slots.(i) <- Tomb;
+        t.size <- t.size - 1
       end
-      else binding :: go rest
+      else probe ((i + 1) land mask)
   in
-  t.buckets.(i) <- go t.buckets.(i);
-  if !removed then t.size <- t.size - 1
+  probe (t.hash k land mask)
 
 let iter f t =
-  Array.iter (fun chain -> List.iter (fun (k, v) -> f k v) chain) t.buckets
+  Array.iter (function Bind (k, v) -> f k v | Empty | Tomb -> ()) t.slots
 
 let fold f t init =
   Array.fold_left
-    (fun acc chain -> List.fold_left (fun acc (k, v) -> f k v acc) acc chain)
-    init t.buckets
+    (fun acc -> function Bind (k, v) -> f k v acc | Empty | Tomb -> acc)
+    init t.slots
 
 let clear t =
-  Array.fill t.buckets 0 (Array.length t.buckets) [];
-  t.size <- 0
+  Array.fill t.slots 0 (Array.length t.slots) Empty;
+  t.size <- 0;
+  t.used <- 0

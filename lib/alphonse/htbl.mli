@@ -4,7 +4,10 @@
     hashing and equality the programmer supplies per procedure (object
     arguments compare by identity, value arguments structurally). A functor
     would force a module per call site; closures keep {!Func.create} a
-    one-liner. Separate chaining with doubling growth. *)
+    one-liner. Open addressing (linear probing) over one flat slot
+    array, power-of-two capacities, growth at load factor 1/2 — [find]
+    is on the hot path of every incremental call and pays one array
+    read plus one compare per probe. *)
 
 type ('k, 'v) t
 

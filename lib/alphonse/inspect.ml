@@ -155,9 +155,16 @@ let dot_escape s =
 let to_dot ?(show_storage = true) ?heat eng =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph alphonse {\n  rankdir=BT;\n";
+  (* Node identities are {!Engine.stable_id}s: on an engine restored by
+     [Durable], arena slot indices are assigned in import order and need
+     not match the exporting engine's, but the stable id is the snapshot
+     id — so a DOT render, a heat overlay keyed by telemetry profiles
+     (which record stable ids), and a provenance query all name the same
+     node before and after a restore. *)
   Engine.iter_nodes eng (fun n ->
       let keep = show_storage || Engine.node_kind n = `Instance in
       if keep then begin
+        let sid = Engine.stable_id eng n in
         let shape =
           match Engine.node_kind n with
           | `Storage -> "box"
@@ -167,7 +174,7 @@ let to_dot ?(show_storage = true) ?heat eng =
           match heat with
           | None -> None
           | Some f -> (
-            match f (Engine.node_id n) with
+            match f sid with
             | Some h -> Some (Float.min 1. (Float.max 0. h))
             | None -> None)
         in
@@ -181,10 +188,9 @@ let to_dot ?(show_storage = true) ?heat eng =
             ((if Engine.node_dirty n then ", style=filled" else ""), "")
         in
         Buffer.add_string buf
-          (Fmt.str "  n%d [label=\"%s#%d%s\", shape=%s%s];\n"
-             (Engine.node_id n)
+          (Fmt.str "  n%d [label=\"%s#%d%s\", shape=%s%s];\n" sid
              (dot_escape (Engine.node_name n))
-             (Engine.node_id n) heat_label shape fill)
+             sid heat_label shape fill)
       end);
   Engine.iter_nodes eng (fun n ->
       let keep = show_storage || Engine.node_kind n = `Instance in
@@ -193,8 +199,9 @@ let to_dot ?(show_storage = true) ?heat eng =
           (fun m ->
             if show_storage || Engine.node_kind m = `Instance then
               Buffer.add_string buf
-                (Fmt.str "  n%d -> n%d;\n" (Engine.node_id n)
-                   (Engine.node_id m)))
+                (Fmt.str "  n%d -> n%d;\n"
+                   (Engine.stable_id eng n)
+                   (Engine.stable_id eng m)))
           n);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
@@ -274,11 +281,15 @@ let find_instance eng name =
 (** [why_recomputed eng name] is {!Telemetry.why_recomputed} addressed by
     instance name, against the engine's attached recorder. [None] when no
     recorder is attached, the name resolves to no instance, or the
-    instance never executed inside the recorded window. *)
+    instance never executed inside the recorded window. The recorder is
+    queried by {!Engine.stable_id}: telemetry events carry stable ids,
+    so provenance still resolves on an engine restored by [Durable],
+    where the live arena index of the instance differs from the id the
+    events were recorded under. *)
 let why_recomputed eng name =
   match Engine.telemetry eng with
   | None -> None
   | Some tm -> (
     match find_instance eng name with
     | None -> None
-    | Some n -> Telemetry.why_recomputed tm ~id:(Engine.node_id n))
+    | Some n -> Telemetry.why_recomputed tm ~id:(Engine.stable_id eng n))

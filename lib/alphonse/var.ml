@@ -11,7 +11,7 @@ let counter = ref 0
 let create eng ?name ?(equal = ( = )) v =
   incr counter;
   let vname =
-    match name with Some n -> n | None -> Fmt.str "var#%d" !counter
+    match name with Some n -> n | None -> "var#" ^ string_of_int !counter
   in
   { eng; vname; equal; contents = v; vnode = None }
 
@@ -32,10 +32,15 @@ let ensure_node t =
       n)
 
 let get t =
-  if Engine.recording t.eng then Engine.record_read t.eng (ensure_node t);
-  t.contents
+  (* Quick regime: no instance executing, so nothing to record — the read
+     is just the load (§6.1's ~1x promise for the mutator). *)
+  if Engine.quick t.eng then t.contents
+  else begin
+    if Engine.recording t.eng then Engine.record_read t.eng (ensure_node t);
+    t.contents
+  end
 
-let set t v =
+let slow_set t v =
   (* Algorithm 4 opens with access(l): the write itself is a dependency of
      the executing procedure, which must re-run if the location is later
      clobbered by someone else. *)
@@ -52,6 +57,14 @@ let set t v =
     let changed = not (t.equal t.contents v) in
     t.contents <- v;
     Engine.record_write t.eng n ~changed
+
+let set t v =
+  match t.vnode with
+  (* Quick regime + node already marked inconsistent: journaling, undo
+     logging, marking and poking would all be no-ops, so the write
+     reduces to the store. This is the E6 tracked-mutator fast path. *)
+  | Some n when Engine.quick_write_ok t.eng n -> t.contents <- v
+  | _ -> slow_set t v
 
 let update t f = set t (f (get t))
 let name t = t.vname

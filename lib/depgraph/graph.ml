@@ -1,33 +1,66 @@
+(* Arena-allocated, int-indexed dependency graph.
+
+   Nodes live in a slot arena: the graph owns flat growable arrays
+   indexed by slot (the live handle, and the slot's generation word),
+   and each handle carries its adjacency as flat int arrays. An edge
+   u → v is a pair of twinned entries: position i of u's successor
+   arrays holds (v's slot, j) and position j of v's predecessor arrays
+   holds (u's slot, i). Removal is swap-remove — the last entry moves
+   into the vacated position and its twin backpointer is repointed —
+   preserving §9.2's O(1)-per-edge removal contract without the edge
+   records and option links of a doubly-linked representation: the
+   steady-state edge churn of re-execution (RemovePredEdges, then
+   re-recording) allocates nothing.
+
+   Slots are recycled through a free list. Each recycling increments
+   the slot's generation word (mod [gen_limit]); a handle remembers
+   the generation it was allocated under, so [validate] can prove that
+   no live handle aliases a recycled slot. Liveness itself is the
+   handle's [dead] flag — exact, set once by [remove_node], and immune
+   to generation-word wraparound (equality on generations is only a
+   cross-check, never the liveness source of truth).
+
+   Duplicate suppression: within a single execution of a consumer,
+   repeated accesses to the same source create only one edge,
+   deduplicated by an execution stamp on the source node. *)
+
+(* Generation words wrap at 2^16: small enough that the wraparound
+   path is testable (test_depgraph recycles one slot past the limit),
+   and wide enough that [validate]'s alias cross-check stays
+   overwhelmingly effective. *)
+let gen_limit = 1 lsl 16
+
 type 'a node = {
-  id : int;
+  id : int; (* unique for the graph's lifetime, never recycled *)
+  slot : int; (* arena index; recycled through the free list *)
+  gen : int; (* the slot's generation word at allocation *)
   payload : 'a;
   owner : 'a t;
   mutable order : Order_list.item;
-  mutable alive : bool;
-  (* adjacency: heads of the intrusive doubly-linked edge lists *)
-  mutable succ_head : 'a edge option;
-  mutable pred_head : 'a edge option;
-  mutable succ_count : int;
-  mutable pred_count : int;
+  mutable dead : bool;
+  (* adjacency: parallel flat int arrays, entries [0 .. *_n - 1] live.
+     succ entry i = (succ_node.(i) : dst slot,
+                     succ_twin.(i) : index of the twin entry in dst's
+                     pred arrays); symmetrically for pred entries. *)
+  mutable succ_node : int array;
+  mutable succ_twin : int array;
+  mutable succ_n : int;
+  mutable pred_node : int array;
+  mutable pred_twin : int array;
+  mutable pred_n : int;
   (* execution stamp of the consumer that most recently recorded an edge
      from this node; suppresses duplicate edges within one execution *)
   mutable last_stamp : int;
 }
 
-and 'a edge = {
-  src : 'a node;
-  dst : 'a node;
-  (* position in src's successor list *)
-  mutable s_prev : 'a edge option;
-  mutable s_next : 'a edge option;
-  (* position in dst's predecessor list *)
-  mutable p_prev : 'a edge option;
-  mutable p_next : 'a edge option;
-}
-
 and 'a t = {
   order_list : Order_list.t;
   mutable next_id : int;
+  (* the arena: slot-indexed flat arrays, grown by doubling *)
+  mutable handles : 'a node option array; (* slot -> live handle *)
+  mutable gens : int array; (* slot -> current generation word *)
+  mutable slots : int; (* high-water mark of slots ever used *)
+  mutable free : int list; (* recycled slots *)
   mutable live_nodes : int;
   mutable live_edges : int;
   mutable total_nodes : int;
@@ -39,6 +72,10 @@ let create () =
   {
     order_list = Order_list.create ();
     next_id = 0;
+    handles = [||];
+    gens = [||];
+    slots = 0;
+    free = [];
     live_nodes = 0;
     live_edges = 0;
     total_nodes = 0;
@@ -47,26 +84,63 @@ let create () =
   }
 
 let check_alive who n =
-  if not n.alive then invalid_arg (who ^ ": removed dependency graph node")
+  if n.dead then invalid_arg (who ^ ": removed dependency graph node")
 
-let mk_node t order =
+(* Resolve a slot to its live handle. Adjacency entries never hold a
+   freed slot (every incident edge is detached before the slot is
+   recycled), so the lookup cannot miss. *)
+let[@inline] handle t s =
+  match t.handles.(s) with Some n -> n | None -> assert false
+
+let grow_arena t =
+  let cap = Array.length t.gens in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let handles = Array.make cap' None in
+  Array.blit t.handles 0 handles 0 cap;
+  t.handles <- handles;
+  let gens = Array.make cap' 0 in
+  Array.blit t.gens 0 gens 0 cap;
+  t.gens <- gens
+
+let alloc_slot t =
+  match t.free with
+  | s :: rest ->
+    t.free <- rest;
+    s
+  | [] ->
+    let s = t.slots in
+    if s = Array.length t.gens then grow_arena t;
+    t.slots <- s + 1;
+    s
+
+let empty_ints : int array = [||]
+
+let mk_node t order payload =
+  let slot = alloc_slot t in
   let id = t.next_id in
   t.next_id <- id + 1;
   t.live_nodes <- t.live_nodes + 1;
   t.total_nodes <- t.total_nodes + 1;
-  fun payload ->
+  let n =
     {
       id;
+      slot;
+      gen = t.gens.(slot);
       payload;
       owner = t;
       order;
-      alive = true;
-      succ_head = None;
-      pred_head = None;
-      succ_count = 0;
-      pred_count = 0;
+      dead = false;
+      succ_node = empty_ints;
+      succ_twin = empty_ints;
+      succ_n = 0;
+      pred_node = empty_ints;
+      pred_twin = empty_ints;
+      pred_n = 0;
       last_stamp = -1;
     }
+  in
+  t.handles.(slot) <- Some n;
+  n
 
 let add_node t ~order_after payload =
   let anchor =
@@ -84,8 +158,11 @@ let add_node_before t ~order_before payload =
 
 let payload n = n.payload
 let id n = n.id
+let slot n = n.slot
+let generation n = n.gen
 
 let order_lt u v = Order_list.lt u.order v.order
+let order_leq u v = Order_list.leq u.order v.order
 
 let reorder_before u v =
   check_alive "Graph.reorder_before" u;
@@ -94,20 +171,53 @@ let reorder_before u v =
   Order_list.delete u.order;
   u.order <- fresh
 
-(* Unlink an edge from both adjacency lists. O(1). *)
-let unlink_edge t e =
-  (match e.s_prev with
-  | Some p -> p.s_next <- e.s_next
-  | None -> e.src.succ_head <- e.s_next);
-  (match e.s_next with Some nx -> nx.s_prev <- e.s_prev | None -> ());
-  (match e.p_prev with
-  | Some p -> p.p_next <- e.p_next
-  | None -> e.dst.pred_head <- e.p_next);
-  (match e.p_next with Some nx -> nx.p_prev <- e.p_prev | None -> ());
-  e.src.succ_count <- e.src.succ_count - 1;
-  e.dst.pred_count <- e.dst.pred_count - 1;
-  t.live_edges <- t.live_edges - 1;
-  t.removed_edges <- t.removed_edges + 1
+(* ---- adjacency primitives ---------------------------------------- *)
+
+let ensure_succ n =
+  if n.succ_n = Array.length n.succ_node then begin
+    let cap = if n.succ_n = 0 then 4 else 2 * n.succ_n in
+    let nn = Array.make cap 0 and nt = Array.make cap 0 in
+    Array.blit n.succ_node 0 nn 0 n.succ_n;
+    Array.blit n.succ_twin 0 nt 0 n.succ_n;
+    n.succ_node <- nn;
+    n.succ_twin <- nt
+  end
+
+let ensure_pred n =
+  if n.pred_n = Array.length n.pred_node then begin
+    let cap = if n.pred_n = 0 then 4 else 2 * n.pred_n in
+    let nn = Array.make cap 0 and nt = Array.make cap 0 in
+    Array.blit n.pred_node 0 nn 0 n.pred_n;
+    Array.blit n.pred_twin 0 nt 0 n.pred_n;
+    n.pred_node <- nn;
+    n.pred_twin <- nt
+  end
+
+(* Swap-remove successor entry [k] of [u]: the last entry moves into
+   [k], and its twin backpointer — held in the moved edge's destination
+   pred arrays — is repointed at the new position. O(1). Must not be
+   used while iterating [u]'s successors. *)
+let remove_succ_entry t u k =
+  let last = u.succ_n - 1 in
+  if k <> last then begin
+    let ms = u.succ_node.(last) and mt = u.succ_twin.(last) in
+    u.succ_node.(k) <- ms;
+    u.succ_twin.(k) <- mt;
+    (handle t ms).pred_twin.(mt) <- k
+  end;
+  u.succ_n <- last
+
+(* Symmetric: swap-remove predecessor entry [k] of [u], repointing the
+   moved edge's source succ-twin. *)
+let remove_pred_entry t u k =
+  let last = u.pred_n - 1 in
+  if k <> last then begin
+    let ms = u.pred_node.(last) and mt = u.pred_twin.(last) in
+    u.pred_node.(k) <- ms;
+    u.pred_twin.(k) <- mt;
+    (handle t ms).succ_twin.(mt) <- k
+  end;
+  u.pred_n <- last
 
 let add_edge ~stamp ~src ~dst =
   check_alive "Graph.add_edge" src;
@@ -115,76 +225,98 @@ let add_edge ~stamp ~src ~dst =
   if src.last_stamp <> stamp then begin
     src.last_stamp <- stamp;
     let t = src.owner in
-    let e =
-      { src; dst; s_prev = None; s_next = src.succ_head; p_prev = None;
-        p_next = dst.pred_head }
-    in
-    (match src.succ_head with Some h -> h.s_prev <- Some e | None -> ());
-    src.succ_head <- Some e;
-    (match dst.pred_head with Some h -> h.p_prev <- Some e | None -> ());
-    dst.pred_head <- Some e;
-    src.succ_count <- src.succ_count + 1;
-    dst.pred_count <- dst.pred_count + 1;
+    ensure_succ src;
+    ensure_pred dst;
+    (* the succ entry's twin is the pred position about to be filled,
+       and vice versa *)
+    let si = src.succ_n and pi = dst.pred_n in
+    src.succ_node.(si) <- dst.slot;
+    src.succ_twin.(si) <- pi;
+    src.succ_n <- si + 1;
+    dst.pred_node.(pi) <- src.slot;
+    dst.pred_twin.(pi) <- si;
+    dst.pred_n <- pi + 1;
     t.live_edges <- t.live_edges + 1;
     t.total_edges <- t.total_edges + 1
   end
 
+(* RemovePredEdges. Each predecessor holds exactly one edge to [n]
+   (edges are deduplicated per consumer execution and fully cleared
+   between executions), so detaching the source sides one by one
+   cannot move an entry this loop has yet to read. *)
 let clear_preds t n =
   check_alive "Graph.clear_preds" n;
-  let rec go = function
-    | None -> ()
-    | Some e ->
-      let next = e.p_next in
-      unlink_edge t e;
-      go next
-  in
-  go n.pred_head;
-  n.pred_head <- None;
-  assert (n.pred_count = 0)
+  let k = n.pred_n in
+  if k > 0 then begin
+    for i = 0 to k - 1 do
+      remove_succ_entry t (handle t n.pred_node.(i)) n.pred_twin.(i)
+    done;
+    n.pred_n <- 0;
+    t.live_edges <- t.live_edges - k;
+    t.removed_edges <- t.removed_edges + k
+  end
+
+(* Fused snapshot-and-clear for the engine's re-execution prologue: one
+   traversal detaches every incoming edge and returns the sources (in
+   reverse adjacency order) so a failed execution can reinstate them.
+   Equivalent to collecting [iter_pred] then [clear_preds], minus a full
+   second pass over the pred arrays. *)
+let clear_preds_collect t n =
+  check_alive "Graph.clear_preds_collect" n;
+  let k = n.pred_n in
+  if k = 0 then []
+  else begin
+    let acc = ref [] in
+    for i = 0 to k - 1 do
+      let src = handle t n.pred_node.(i) in
+      acc := src :: !acc;
+      remove_succ_entry t src n.pred_twin.(i)
+    done;
+    n.pred_n <- 0;
+    t.live_edges <- t.live_edges - k;
+    t.removed_edges <- t.removed_edges + k;
+    !acc
+  end
 
 let clear_succs t n =
-  let rec go = function
-    | None -> ()
-    | Some e ->
-      let next = e.s_next in
-      unlink_edge t e;
-      go next
-  in
-  go n.succ_head;
-  n.succ_head <- None
+  let k = n.succ_n in
+  if k > 0 then begin
+    for i = 0 to k - 1 do
+      remove_pred_entry t (handle t n.succ_node.(i)) n.succ_twin.(i)
+    done;
+    n.succ_n <- 0;
+    t.live_edges <- t.live_edges - k;
+    t.removed_edges <- t.removed_edges + k
+  end
 
 let remove_node t n =
   check_alive "Graph.remove_node" n;
   clear_preds t n;
   clear_succs t n;
   Order_list.delete n.order;
-  n.alive <- false;
+  n.dead <- true;
+  (* recycle the slot under a fresh generation word *)
+  t.handles.(n.slot) <- None;
+  t.gens.(n.slot) <- (t.gens.(n.slot) + 1) mod gen_limit;
+  t.free <- n.slot :: t.free;
   t.live_nodes <- t.live_nodes - 1
 
 let iter_succ f n =
   check_alive "Graph.iter_succ" n;
-  let rec go = function
-    | None -> ()
-    | Some e ->
-      let next = e.s_next in
-      f e.dst;
-      go next
-  in
-  go n.succ_head
+  let t = n.owner in
+  for i = 0 to n.succ_n - 1 do
+    f (handle t n.succ_node.(i))
+  done
 
 let iter_pred f n =
   check_alive "Graph.iter_pred" n;
-  let rec go = function
-    | None -> ()
-    | Some e ->
-      let next = e.p_next in
-      f e.src;
-      go next
-  in
-  go n.pred_head
+  let t = n.owner in
+  for i = 0 to n.pred_n - 1 do
+    f (handle t n.pred_node.(i))
+  done
 
-let succ_count n = n.succ_count
-let pred_count n = n.pred_count
+let succ_count n = n.succ_n
+let pred_count n = n.pred_n
 
 (* Restore topological order after discovering the edge src → dst with
    order(dst) < order(src) — the Pearce–Kelly algorithm ("A dynamic
@@ -239,7 +371,6 @@ let restore_topological_order t ~src ~dst =
       `Reordered (List.length region)
   end
 
-
 type stats = {
   live_nodes : int;
   live_edges : int;
@@ -262,4 +393,40 @@ let stats (t : _ t) =
 let validate t =
   Order_list.validate t.order_list;
   if t.live_nodes < 0 || t.live_edges < 0 then
-    failwith "Graph.validate: negative live counts"
+    failwith "Graph.validate: negative live counts";
+  (* arena coherence: every live handle sits in its own slot under the
+     slot's current generation word, with twin-symmetric adjacency *)
+  let live = ref 0 and edges = ref 0 in
+  for s = 0 to t.slots - 1 do
+    match t.handles.(s) with
+    | None -> ()
+    | Some n ->
+      incr live;
+      if n.dead then failwith "Graph.validate: dead handle in arena";
+      if n.slot <> s then failwith "Graph.validate: handle in a foreign slot";
+      if n.gen <> t.gens.(s) then
+        failwith "Graph.validate: live handle under a stale generation word";
+      for i = 0 to n.succ_n - 1 do
+        incr edges;
+        let d = handle t n.succ_node.(i) in
+        let tp = n.succ_twin.(i) in
+        if
+          tp >= d.pred_n
+          || d.pred_node.(tp) <> n.slot
+          || d.pred_twin.(tp) <> i
+        then failwith "Graph.validate: broken succ/pred twin symmetry"
+      done;
+      for i = 0 to n.pred_n - 1 do
+        let sr = handle t n.pred_node.(i) in
+        let tp = n.pred_twin.(i) in
+        if
+          tp >= sr.succ_n
+          || sr.succ_node.(tp) <> n.slot
+          || sr.succ_twin.(tp) <> i
+        then failwith "Graph.validate: broken pred/succ twin symmetry"
+      done
+  done;
+  if !live <> t.live_nodes then
+    failwith "Graph.validate: live-node count disagrees with the arena";
+  if !edges <> t.live_edges then
+    failwith "Graph.validate: live-edge count disagrees with the arena"

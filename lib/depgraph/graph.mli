@@ -1,4 +1,4 @@
-(** The dynamic dependency graph of paper §4.1.
+(** The dynamic dependency graph of paper §4.1, arena-allocated.
 
     Nodes represent incremental procedure instances and the abstract storage
     locations they touch; an edge [u → v] records that the most recent
@@ -6,11 +6,20 @@
     node carries a client payload (the engine's bookkeeping record) and an
     {!Order_list} item giving its approximate topological priority.
 
-    Edges are intrusive, doubly linked in both the source's successor list
-    and the destination's predecessor list, so that [clear_preds] — the
-    paper's [RemovePredEdges], run before every re-execution — costs O(1)
-    per edge (§9.2: "a doubly linked list of bidirectional edges … the O(1)
-    cost of removing each edge can be charged to the edge creation").
+    Representation: nodes live in a slot {e arena} — flat growable arrays
+    indexed by a small integer slot — and adjacency is flat parallel [int]
+    arrays of twinned entries rather than linked edge records. Position [i]
+    of [u]'s successor arrays names [v]'s slot together with the index [j]
+    of the twin entry in [v]'s predecessor arrays, and vice versa; removal
+    is swap-remove with a twin-backpointer fixup, so [clear_preds] — the
+    paper's [RemovePredEdges], run before every re-execution — still costs
+    O(1) per edge (§9.2: "the O(1) cost of removing each edge can be
+    charged to the edge creation") and the steady-state edge churn of
+    re-execution allocates nothing.
+
+    Slots are recycled under a {e generation word} (see {!generation});
+    handle liveness is an exact per-node flag, so generation wraparound
+    cannot resurrect a removed node.
 
     Duplicate suppression: within a single execution of a consumer, repeated
     accesses to the same source create only one edge, deduplicated by an
@@ -20,6 +29,9 @@ type 'a t
 (** A dependency graph with payloads of type ['a]. *)
 
 type 'a node
+(** A node handle. Handles are ordinary heap values compared with physical
+    equality ([==]); the arena arrays map slots back to handles, so client
+    code never sees raw indices unless it asks ({!slot}). *)
 
 val create : unit -> 'a t
 
@@ -36,14 +48,38 @@ val add_node_before : 'a t -> order_before:'a node -> 'a -> 'a node
     must drain before the consumer under quiescence propagation. *)
 
 val remove_node : 'a t -> 'a node -> unit
-(** Detaches every incident edge and retires the node's order item. The node
+(** Detaches every incident edge, retires the node's order item, and
+    recycles the node's arena slot under a fresh generation word. The node
     must not be used afterwards (checked: raises [Invalid_argument]). *)
 
 val payload : 'a node -> 'a
+(** The client payload the node was created with. *)
+
 val id : 'a node -> int
+(** A graph-lifetime-unique identifier. Unlike {!slot}, ids are never
+    recycled, so they are safe as hash-table keys outliving the node. *)
+
+val slot : 'a node -> int
+(** The node's arena index. Slots are recycled by {!remove_node}; a slot
+    only names this node while the node is live. Exposed for tests and
+    diagnostics — prefer {!id} for any key that outlives the node. *)
+
+val generation : 'a node -> int
+(** The generation word of the node's slot at allocation. Each recycling of
+    a slot increments the slot's generation modulo {!gen_limit}, letting
+    {!validate} prove no live handle aliases a recycled slot. Wraparound is
+    benign: liveness is tracked by an exact per-node flag, and the
+    generation word is only a cross-check. *)
+
+val gen_limit : int
+(** Generation words live in [0 .. gen_limit - 1] (currently [2^16]). *)
 
 val order_lt : 'a node -> 'a node -> bool
 (** Priority comparison: [order_lt u v] iff [u] drains before [v]. *)
+
+val order_leq : 'a node -> 'a node -> bool
+(** [order_leq u v] is [not (order_lt v u)]; the settle heaps compare
+    through this. *)
 
 val restore_topological_order :
   'a t ->
@@ -69,19 +105,34 @@ val reorder_before : 'a node -> 'a node -> unit
 val add_edge : stamp:int -> src:'a node -> dst:'a node -> unit
 (** Records dependency [src → dst]. [stamp] identifies the current
     execution of [dst]; a second call with the same [(src, stamp)] is a
-    no-op (duplicate access within one execution). *)
+    no-op (duplicate access within one execution). Steady-state cost: two
+    array stores per side, no allocation once the adjacency arrays have
+    grown to their working size. *)
 
 val clear_preds : 'a t -> 'a node -> unit
-(** Removes every incoming edge of the node ([RemovePredEdges]). *)
+(** Removes every incoming edge of the node ([RemovePredEdges]) by
+    swap-remove on each source's successor arrays. O(1) per edge, no
+    allocation. *)
+
+val clear_preds_collect : 'a t -> 'a node -> 'a node list
+(** Like {!clear_preds}, but returns the detached sources. One traversal
+    serves both the engine's pre-execution edge snapshot (kept so a
+    failed execution can reinstate the previous dependency set) and the
+    removal itself. *)
 
 val iter_succ : ('a node -> unit) -> 'a node -> unit
 (** Applies a function to every successor (dependent) of the node. The
     callback must not add or remove edges of this node. *)
 
 val iter_pred : ('a node -> unit) -> 'a node -> unit
+(** Applies a function to every predecessor (dependency) of the node. The
+    callback must not add or remove edges of this node. *)
 
 val succ_count : 'a node -> int
+(** Number of outgoing (dependent) edges. *)
+
 val pred_count : 'a node -> int
+(** Number of incoming (dependency) edges. *)
 
 (** {1 Statistics (benches E5/E6)} *)
 
@@ -95,6 +146,8 @@ type stats = {
 }
 
 val stats : 'a t -> stats
+(** Lifetime counters for the graph, cheap to read. *)
 
 val validate : 'a t -> unit
-(** Internal invariant check for tests: link symmetry, counts, order. *)
+(** Internal invariant check for tests: twin symmetry of the flat
+    adjacency, arena/handle/generation coherence, counts, order. *)

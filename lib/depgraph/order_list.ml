@@ -50,44 +50,53 @@ let check_alive who x =
 let compare a b =
   check_alive "Order_list.compare" a;
   check_alive "Order_list.compare" b;
-  Int.compare a.tag b.tag
+  if a.tag < b.tag then -1 else if a.tag > b.tag then 1 else 0
 
-let lt a b = compare a b < 0
+(* [lt]/[leq] are the settle path's priority comparisons — every heap
+   sift and every out-of-order probe lands here, so they are bare tag
+   loads: no liveness check (deleted items are unreachable from the
+   graph by construction; [compare] keeps the checked behaviour for
+   external callers). *)
+let[@inline] lt a b = a.tag < b.tag
+let[@inline] leq a b = a.tag <= b.tag
 
 let length t = t.size
 
 let relabel_count t = t.relabels
 
-(* Occupants of the aligned range of size [width] containing [x.tag],
-   collected by walking outward from [x]. Returns them in order together
-   with the range start. *)
-let range_occupants x width =
-  let start = x.tag - (x.tag mod width) in
-  let stop = start + width in
-  let rec back acc = function
-    | Some p when p.tag >= start -> back (p :: acc) p.prev
-    | _ -> acc
-  in
-  let rec fwd acc = function
-    | Some n when n.tag < stop -> fwd (n :: acc) n.next
-    | _ -> List.rev acc
-  in
-  let before = back [ x ] x.prev in
-  let after = fwd [] x.next in
-  (start, before @ after)
+(* Minimum tag gap left between neighbours after a spread. Relabeling is
+   triggered by repeated insertion at one point (the engine inserts every
+   node a consumer's execution discovers just before the consumer), and
+   each spread buys [log2 min_gap] bisections at that point before the
+   gap is exhausted again — a larger value trades rarer relabel events
+   for slightly wider ones. *)
+let min_gap = 8
 
 let relabel t x =
   (* Find the smallest enclosing range [start, start+2^i) with occupancy
      density below (2/3)^i, then spread its occupants evenly. The base item
-     (tag 0) may be moved like any other; order is preserved. *)
+     (tag 0) may be moved like any other; order is preserved. Occupants are
+     never materialized as a list: each level walks pointers outward from
+     [x] to find the range's leftmost occupant and count, and the final
+     spread walks [next] from the leftmost — relabeling allocates
+     nothing. *)
   let rec find i =
     let width = 1 lsl i in
     if width > max_tag then failwith "Order_list: tag space exhausted";
-    let start, occ = range_occupants x width in
-    let n = List.length occ in
-    (* density threshold: n * 3^i < 2^i * 2^i  <=>  n < (4/3)^i * (2/3)^0 …
-       we use the standard form: overflow iff n >= width / T^i with
-       T = 3/2, computed in integers as n * 3^i >= width * 2^i. *)
+    let start = x.tag - (x.tag mod width) in
+    let stop = start + width in
+    let rec back lm = function
+      | Some p when p.tag >= start -> back p p.prev
+      | _ -> lm
+    in
+    let leftmost = back x x.prev in
+    let rec count acc = function
+      | Some n when n.tag < stop -> count (acc + 1) n.next
+      | _ -> acc
+    in
+    let n = count 1 leftmost.next in
+    (* density threshold: overflow iff n >= width / T^i with T = 3/2,
+       computed in integers as n * 3^i >= width * 2^i. *)
     let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
     let threshold_ok =
       (* guard against overflow for large i by capping the exponent used in
@@ -96,15 +105,20 @@ let relabel t x =
       if i >= 36 then true
       else n * pow 3 i < width * pow 2 i
     in
-    (* also require room for gaps of at least 2 after spreading, so the
-       caller's bisection always finds a free tag *)
-    if threshold_ok && (n + 1) * 2 <= width then (start, width, occ)
+    (* also require room for gaps of at least [min_gap] after spreading,
+       so the caller's bisection finds free tags for a few more inserts *)
+    if threshold_ok && (n + 1) * min_gap <= width then (start, width, leftmost, n)
     else find (i + 1)
   in
-  let start, width, occ = find 1 in
-  let n = List.length occ in
+  let start, width, leftmost, n = find 1 in
   let gap = width / (n + 1) in
-  List.iteri (fun k it -> it.tag <- start + ((k + 1) * gap)) occ;
+  let rec assign k it =
+    if k <= n then begin
+      it.tag <- start + (k * gap);
+      match it.next with Some nx -> assign (k + 1) nx | None -> ()
+    end
+  in
+  assign 1 leftmost;
   t.relabels <- t.relabels + n
 
 let insert_after x =

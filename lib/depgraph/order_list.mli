@@ -49,7 +49,13 @@ val compare : item -> item -> int
     @raise Invalid_argument if either item was deleted. *)
 
 val lt : item -> item -> bool
-(** [lt a b] is [compare a b < 0]. *)
+(** [lt a b] is [compare a b < 0], minus the liveness check: a bare tag
+    comparison, for the settle path's heap sifts. Calling it on a
+    deleted item is unspecified (use {!compare} when liveness is not
+    guaranteed by construction). *)
+
+val leq : item -> item -> bool
+(** [leq a b] is [not (lt b a)]; same contract as {!lt}. *)
 
 val length : t -> int
 (** Number of live items (including the base item). O(1). *)

@@ -60,9 +60,14 @@ let node t ?(left = Nil) ?(right = Nil) key =
     {
       id;
       key;
-      left = Var.create t.eng ~equal:tree_equal ~name:(Fmt.str "n%d.left" id) left;
+      (* plain concatenation: node allocation is on E4's hot loop and a
+         format-string parse per child name shows up in profiles *)
+      left =
+        Var.create t.eng ~equal:tree_equal
+          ~name:("n" ^ string_of_int id ^ ".left") left;
       right =
-        Var.create t.eng ~equal:tree_equal ~name:(Fmt.str "n%d.right" id) right;
+        Var.create t.eng ~equal:tree_equal
+          ~name:("n" ^ string_of_int id ^ ".right") right;
     }
 
 let height t tree = Func.call t.height_fn tree

@@ -203,6 +203,30 @@ The graph view without storage nodes shows the instance lattice only:
     n20 [label="Fib#20", shape=ellipse];
     n19 [label="Fib#19", shape=ellipse];
 
+Node identities survive a durable export→import cycle: the DOT of a
+recovered engine reports the snapshot's stable ids (the exporting
+engine's node ids), not the restored arena's internal indices — a
+profile heat overlay or a provenance query recorded before the restore
+still addresses the same nodes after it:
+
+  $ printf 'set A1 6\nset A2 =A1*7\nget A2\n' > dotedits.txt
+  $ alphonsec sheet dotedits.txt --state dotst 2>/dev/null
+  A2 = 42
+  $ alphonsec sheet /dev/null --state dotst --checkpoint 2>&1 | tail -1
+  [checkpoint: snap-00000002.json]
+  $ alphonsec recover --state dotst --dot
+  recovery: snapshot=snap-00000002.json replayed=0 discarded=0 txns-discarded=0 verified=yes degraded=no
+  digraph alphonse {
+    rankdir=BT;
+    n3 [label="cell:A2#3", shape=box];
+    n2 [label="cell-value(A2)#2", shape=ellipse];
+    n1 [label="cell:A1#1", shape=box];
+    n0 [label="cell-value(A1)#0", shape=ellipse];
+    n3 -> n2;
+    n1 -> n0;
+    n0 -> n2;
+  }
+
 The incremental-correctness linter: every built-in sample is clean
 (unchecked_lookup and spreadsheet each carry hidden info-severity
 ALF005 notes about never-written tracked storage):

@@ -49,3 +49,32 @@ A documented flag absent from the help corpus fails:
   $ check_docs --root seeded --help-text help.txt
   documented flag --frobnicate does not appear in `alphonsec --help` output
   [1]
+
+Bench-marker figures are cross-checked against BENCH_results.json. A
+quote near the measured value passes, one that drifted past the 2x
+band fails, a marker whose row vanished from the bench fails, and a
+missing results file is silently skipped (results are regenerated per
+run, never committed):
+
+  $ cat > bench.json <<'EOF'
+  > {"schema":"alphonse-bench/1","experiments":[{"name":"E4","wall_clock_s":1,
+  > "tables":[{"title":"t","claim":"c","headers":["metric","value"],
+  > "rows":[["alphonse time","20.0ms"]]}]}]}
+  > EOF
+
+  $ printf 'took 21.0ms <!-- bench:E4:row=alphonse time:col=value -->\n' > seeded/README.md
+  $ check_docs --root seeded --bench bench.json
+  docs OK
+
+  $ printf 'took 136.2ms <!-- bench:E4:row=alphonse time:col=value -->\n' > seeded/README.md
+  $ check_docs --root seeded --bench bench.json
+  README.md: stale bench figure for E4/"alphonse time"/"value": doc quotes a value 6.81x the measured 20.0ms
+  [1]
+
+  $ printf 'took 1.0ms <!-- bench:E4:row=gone:col=value -->\n' > seeded/README.md
+  $ check_docs --root seeded --bench bench.json
+  README.md: bench marker: experiment E4 has no row "gone" with column "value"
+  [1]
+
+  $ check_docs --root seeded --bench no-such-results.json
+  docs OK

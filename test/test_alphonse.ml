@@ -99,6 +99,33 @@ let test_demand_no_cutoff () =
   (* demand propagation dirties transitively: both b and c re-execute *)
   checki "both re-ran" 4 (executions eng)
 
+(* The arena representation's no-change fast paths must not allocate:
+   an equal-value write to a settled tracked cell (the equality cutoff —
+   no mark, no journal entry, no undo record) and a tracked read in the
+   quick regime are both plain loads/stores. Per-iteration allocation is
+   measured differentially — the delta for 10x the iterations must equal
+   the delta for 1x, which cancels the constant cost of the
+   [Gc.minor_words] probes themselves. *)
+let test_cutoff_zero_alloc () =
+  let eng = Engine.create () in
+  let a = Var.create eng ~name:"a" 42 in
+  let f = Func.create eng ~name:"f" (fun _ () -> Var.get a * 2) in
+  checki "tracked and settled" 84 (Func.call f ());
+  let measure iters =
+    let w0 = Gc.minor_words () in
+    for _ = 1 to iters do
+      Var.set a 42;
+      (* equal value: cutoff *)
+      ignore (Var.get a)
+    done;
+    Gc.minor_words () -. w0
+  in
+  ignore (measure 10) (* warm-up: fault any lazy setup *);
+  let d1 = measure 1_000 and d10 = measure 10_000 in
+  Alcotest.(check (float 0.0)) "no per-iteration allocation" d1 d10;
+  checki "still cached" 84 (Func.call f ());
+  checki "no re-execution" 1 (executions eng)
+
 let test_eager_stabilize_precomputes () =
   let eng = Engine.create ~default_strategy:Engine.Eager () in
   let runs = ref 0 in
@@ -1219,6 +1246,8 @@ let () =
           Alcotest.test_case "eager quiescence cutoff" `Quick test_eager_cutoff;
           Alcotest.test_case "demand dirties transitively" `Quick
             test_demand_no_cutoff;
+          Alcotest.test_case "cutoff fast path allocates nothing" `Quick
+            test_cutoff_zero_alloc;
           Alcotest.test_case "eager stabilize precomputes" `Quick
             test_eager_stabilize_precomputes;
           Alcotest.test_case "demand stabilize defers" `Quick

@@ -48,9 +48,11 @@ let test_order_delete () =
   Ol.delete x;
   checkb "b < y" true (Ol.lt b y);
   checki "length" 2 (Ol.length t);
+  (* [lt]/[leq] are deliberately unchecked (settle-path fast path); the
+     checked comparison is [compare] *)
   Alcotest.check_raises "compare deleted"
     (Invalid_argument "Order_list.compare: deleted order item") (fun () ->
-      ignore (Ol.lt x y));
+      ignore (Ol.compare x y));
   Ol.validate t
 
 (* Append-heavy and front-heavy insertion both must terminate and preserve
@@ -274,6 +276,133 @@ let test_graph_stats () =
   checki "live edges" 1 s.live_edges;
   checki "total edges" 1 s.total_edges
 
+(* Swap-remove must preserve the identity of the surviving edges: when
+   clearing c's predecessors vacates a's middle successor entry, the last
+   entry (a→d) moves into the hole and its twin backpointer — held in d's
+   pred arrays — must be repointed. A stale twin would corrupt the next
+   detach through d. *)
+let test_arena_swap_remove_identity () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  let c = G.add_node g ~order_after:None "c" in
+  let d = G.add_node g ~order_after:None "d" in
+  G.add_edge ~stamp:1 ~src:a ~dst:b;
+  G.add_edge ~stamp:2 ~src:a ~dst:c;
+  G.add_edge ~stamp:3 ~src:a ~dst:d;
+  (* vacates a's entry #1; the a→d entry swaps down into it *)
+  G.clear_preds g c;
+  let succ = ref [] in
+  G.iter_succ (fun n -> succ := G.payload n :: !succ) a;
+  check
+    Alcotest.(slist string compare)
+    "a→c removed, a→b and a→d survive" [ "b"; "d" ] !succ;
+  (* detaching through the moved edge's twin exercises the repointing:
+     d's pred entry must name a's *new* succ position *)
+  G.clear_preds g d;
+  let succ = ref [] in
+  G.iter_succ (fun n -> succ := G.payload n :: !succ) a;
+  check Alcotest.(slist string compare) "only a→b remains" [ "b" ] !succ;
+  checki "b's preds intact" 1 (G.pred_count b);
+  G.validate g
+
+(* One slot recycled past the generation-word limit: the word wraps
+   (mod [gen_limit]) back to a previously-issued value, and liveness
+   must still be exact — it comes from the handle's dead flag, never
+   from generation equality. *)
+let test_arena_generation_rollover () =
+  let g = G.create () in
+  let first = G.add_node g ~order_after:None 0 in
+  let slot0 = G.slot first in
+  checki "first generation" 0 (G.generation first);
+  G.remove_node g first;
+  let last = ref first in
+  (* [gen_limit - 1] further recyclings leave the slot's word at
+     [gen_limit mod gen_limit = 0] for the next allocation *)
+  for i = 1 to G.gen_limit - 1 do
+    let n = G.add_node g ~order_after:None i in
+    checki "slot is recycled" slot0 (G.slot n);
+    checki "generation word wraps" (i mod G.gen_limit) (G.generation n);
+    last := n;
+    G.remove_node g n
+  done;
+  (* after the wrap, a fresh node carries the same generation word the
+     original handle was allocated under … *)
+  let alias = G.add_node g ~order_after:None (-1) in
+  checki "wrapped back to the first word"
+    (G.generation first) (G.generation alias);
+  (* … yet both dead handles are still exactly dead *)
+  Alcotest.check_raises "pre-wrap handle stays dead"
+    (Invalid_argument "Graph.iter_succ: removed dependency graph node")
+    (fun () -> G.iter_succ ignore first);
+  Alcotest.check_raises "post-wrap handle stays dead"
+    (Invalid_argument "Graph.iter_succ: removed dependency graph node")
+    (fun () -> G.iter_succ ignore !last);
+  let s = G.stats g in
+  checki "one live node" 1 s.live_nodes;
+  checki "all allocations counted" (G.gen_limit + 1) s.total_nodes;
+  G.validate g
+
+(* clear_preds_collect is clear_preds fused with a snapshot of the
+   sources (the engine's re-execution prologue); the snapshot must list
+   every detached source exactly once. *)
+let test_arena_clear_preds_collect () =
+  let g = G.create () in
+  let a = G.add_node g ~order_after:None "a" in
+  let b = G.add_node g ~order_after:None "b" in
+  let c = G.add_node g ~order_after:None "c" in
+  G.add_edge ~stamp:1 ~src:a ~dst:c;
+  G.add_edge ~stamp:2 ~src:b ~dst:c;
+  let sources = G.clear_preds_collect g c |> List.map G.payload in
+  check
+    Alcotest.(slist string compare)
+    "collected sources" [ "a"; "b" ] sources;
+  checki "preds cleared" 0 (G.pred_count c);
+  checki "a detached" 0 (G.succ_count a);
+  check Alcotest.(list string) "empty collect" []
+    (G.clear_preds_collect g c |> List.map G.payload);
+  G.validate g
+
+(* ------------------------------------------------------------------ *)
+(* Flat heap (the settle queues)                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Fh = Depgraph.Flat_heap
+
+let test_flat_heap_sorts () =
+  let h = Fh.create ~leq:(fun (a : int) b -> a <= b) in
+  List.iter (Fh.insert h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  checkb "not empty" false (Fh.is_empty h);
+  let rec drain acc =
+    match Fh.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check Alcotest.(list int) "drains sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain []);
+  checkb "empty after drain" true (Fh.is_empty h)
+
+let test_flat_heap_meld () =
+  let leq (a : int) b = a <= b in
+  let h1 = Fh.create ~leq and h2 = Fh.create ~leq in
+  List.iter (Fh.insert h1) [ 7; 3 ];
+  List.iter (Fh.insert h2) [ 5; 1; 6 ];
+  Fh.meld h1 h2;
+  checkb "absorbed heap is empty" true (Fh.is_empty h2);
+  let rec drain acc =
+    match Fh.pop_min h1 with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check Alcotest.(list int) "meld = union" [ 1; 3; 5; 6; 7 ] (drain [])
+
+let prop_flat_heap_sorts_random =
+  QCheck.Test.make ~name:"flat heap drains sorted" QCheck.(list small_int)
+    (fun xs ->
+      let h = Fh.create ~leq:(fun (a : int) b -> a <= b) in
+      List.iter (Fh.insert h) xs;
+      let rec drain acc =
+        match Fh.pop_min h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
 (* Random add/clear sequence against a naive adjacency oracle. *)
 let prop_graph_matches_oracle =
   QCheck.Test.make ~name:"graph agrees with naive adjacency oracle"
@@ -336,11 +465,21 @@ let () =
         Alcotest.test_case "basic" `Quick test_uf_basic
         :: Alcotest.test_case "set_payload" `Quick test_uf_set_payload
         :: qsuite [ prop_uf_partition_refinement ] );
+      ( "flat_heap",
+        Alcotest.test_case "sorts" `Quick test_flat_heap_sorts
+        :: Alcotest.test_case "meld" `Quick test_flat_heap_meld
+        :: qsuite [ prop_flat_heap_sorts_random ] );
       ( "graph",
         Alcotest.test_case "edges" `Quick test_graph_edges
         :: Alcotest.test_case "edge dedup" `Quick test_graph_edge_dedup
         :: Alcotest.test_case "order" `Quick test_graph_order
         :: Alcotest.test_case "remove node" `Quick test_graph_remove_node
         :: Alcotest.test_case "stats" `Quick test_graph_stats
+        :: Alcotest.test_case "swap-remove edge identity" `Quick
+             test_arena_swap_remove_identity
+        :: Alcotest.test_case "generation-word rollover" `Quick
+             test_arena_generation_rollover
+        :: Alcotest.test_case "clear_preds_collect snapshot" `Quick
+             test_arena_clear_preds_collect
         :: qsuite [ prop_graph_matches_oracle ] );
     ]

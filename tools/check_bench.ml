@@ -82,19 +82,93 @@ let () =
   let names =
     List.filter_map (fun e -> Option.bind (member "name" e) to_str) exps
   in
-  let required = [ "E16"; "E17"; "E18"; "E19"; "E20"; "E21" ] in
+  let required = [ "E4"; "E6"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21" ] in
   let missing =
     List.filter
       (fun r ->
+        let m = String.length r in
         not
           (List.exists
-             (fun n -> String.length n >= 3 && String.sub n 0 3 = r)
+             (fun n -> String.length n >= m && String.sub n 0 m = r)
              names))
       required
   in
   if missing <> [] then
     fail "%s: required experiment(s) missing: %s" file
       (String.concat ", " missing);
+  (* E4 and E6 gate the engine's constant factors — the arena-allocated
+     node/edge representation is accountable here. Both gates are
+     RATIOS between rows of the same run, so machine speed cancels:
+     E4's alphonse/hand-coded factor was ~570x on the pointer-graph
+     representation and is ~100x on the arena (gate at 250x, halfway in
+     log space); E6's tracked/plain factor was ~35x and is now under
+     10x (gate at 20x). A regression past either gate means an
+     allocation or indirection crept back onto the hot settle path. *)
+  let time_of s =
+    let s = String.trim s in
+    let num suffix scale =
+      let n = String.length s and m = String.length suffix in
+      if n > m && String.sub s (n - m) m = suffix then
+        Option.map
+          (fun v -> v *. scale)
+          (float_of_string_opt (String.sub s 0 (n - m)))
+      else None
+    in
+    match (num "ms" 1e-3, num "us" 1e-6, num "s" 1.0) with
+    | Some v, _, _ | _, Some v, _ | _, _, Some v -> Some v
+    | None, None, None -> None
+  in
+  let metric_value exp_name row_label =
+    let e =
+      get
+        (exp_name ^ " experiment")
+        (List.find_opt
+           (fun e -> Option.bind (member "name" e) to_str = Some exp_name)
+           exps)
+    in
+    let tables =
+      get (exp_name ^ " tables") (Option.bind (member "tables" e) to_list)
+    in
+    let found =
+      List.find_map
+        (fun t ->
+          List.find_map
+            (fun row ->
+              match
+                Option.map (List.filter_map to_str) (to_list row)
+              with
+              | Some (first :: rest) when first = row_label ->
+                (* the value is the first remaining cell that parses as
+                   a time (E6 rows carry a trailing "vs plain" cell) *)
+                List.find_map time_of rest
+              | _ -> None)
+            (Option.value ~default:[]
+               (Option.bind (member "rows" t) to_list)))
+        tables
+    in
+    match found with
+    | Some v -> v
+    | None ->
+      fail "%s: %s has no time-valued row %S" file exp_name row_label
+  in
+  let e4_alphonse = metric_value "E4" "alphonse time (insert+rebalance each)"
+  and e4_hand = metric_value "E4" "hand-coded baseline time" in
+  if e4_hand <= 0.0 then fail "%s: E4 hand-coded baseline time is zero" file;
+  let e4_factor = e4_alphonse /. e4_hand in
+  if e4_factor > 250.0 then
+    fail
+      "%s: E4 alphonse/hand-coded factor %.0fx exceeds the 250x gate (the \
+       arena representation held this near 100x)"
+      file e4_factor;
+  let e6_plain = metric_value "E6" "plain ref loop (1M ops)"
+  and e6_tracked = metric_value "E6" "tracked Var loop (mutator)" in
+  if e6_plain <= 0.0 then fail "%s: E6 plain ref loop time is zero" file;
+  let e6_factor = e6_tracked /. e6_plain in
+  if e6_factor > 20.0 then
+    fail
+      "%s: E6 tracked/plain factor %.1fx exceeds the 20x gate (the arena \
+       representation held this under 10x)"
+      file e6_factor;
   (* E19 carries the paper-level parallel-settle claim, so its shape
      check is not enough: every (program x domain-count) cell must
      report Theorem 5.1 as HOLDS, and at least one workload must show a

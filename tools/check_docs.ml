@@ -9,7 +9,18 @@
    - with --help-text FILE, every `--flag` the docs mention appears in
      the given help corpus (the cram test feeds it `alphonsec *
      --help=plain` output), so documented flags cannot drift from the
-     CLI.
+     CLI;
+   - with --bench FILE, every quoted figure annotated with a
+     `<!-- bench:EXP:row=LABEL:col=HEADER -->` marker is cross-checked
+     against that cell of the bench results JSON: the number
+     immediately preceding the marker must lie within a [0.5x, 2.0x]
+     ratio band of the measured value (wall clocks are noisy; an
+     order-of-magnitude drift is a stale doc, a few percent is a
+     shared CI machine). A marker whose experiment, row, or column no
+     longer exists is an error. When FILE does not exist the bench
+     checks are silently skipped — results are regenerated per run,
+     not committed, and a docs-only change must not require a bench
+     run.
 
    Unknown leading modules (stdlib, opam libraries) are skipped, not
    failed: the point is to catch references into *this* repo that rot
@@ -18,6 +29,7 @@
 
 let root = ref "."
 let help_text : string option ref = ref None
+let bench_file : string option ref = ref None
 let verbose = ref false
 
 let () =
@@ -25,6 +37,7 @@ let () =
     | [] -> ()
     | "--root" :: d :: rest -> root := d; parse rest
     | "--help-text" :: f :: rest -> help_text := Some f; parse rest
+    | "--bench" :: f :: rest -> bench_file := Some f; parse rest
     | "--verbose" :: rest -> verbose := true; parse rest
     | a :: _ ->
       Printf.eprintf "check_docs: unknown argument %s\n" a;
@@ -226,6 +239,213 @@ let flags_of_text s =
   List.sort_uniq compare !out
 
 (* ------------------------------------------------------------------ *)
+(* Bench figure markers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go from
+
+(* a figure is a number with an optional unit suffix; commas and a '~'
+   prefix are presentation ("573,120", "~22x") *)
+type dim = Seconds | Factor | Percent | Count
+
+let parse_figure s =
+  let s = String.trim s in
+  let s =
+    if s <> "" && s.[0] = '~' then String.sub s 1 (String.length s - 1) else s
+  in
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  let seen_digit = ref false in
+  while
+    !i < n
+    &&
+    match s.[!i] with
+    | '0' .. '9' ->
+      seen_digit := true;
+      true
+    | '.' | ',' -> true
+    | _ -> false
+  do
+    if s.[!i] <> ',' then Buffer.add_char buf s.[!i];
+    incr i
+  done;
+  if not !seen_digit then None
+  else
+    match float_of_string_opt (Buffer.contents buf) with
+    | None -> None
+    | Some v ->
+      (* unit: the letter/percent run right after the number *)
+      let j = ref !i in
+      while
+        !j < n
+        &&
+        match s.[!j] with
+        | 'a' .. 'z' | '%' -> true
+        | '\xc2' -> true (* first byte of UTF-8 µ *)
+        | '\xb5' -> true
+        | _ -> false
+      do
+        incr j
+      done;
+      let unit = String.sub s !i (!j - !i) in
+      (match unit with
+      | "" -> Some (v, Count)
+      | "x" -> Some (v, Factor)
+      | "%" -> Some (v, Percent)
+      | "s" -> Some (v, Seconds)
+      | "ms" -> Some (v *. 1e-3, Seconds)
+      | "us" | "\xc2\xb5s" -> Some (v *. 1e-6, Seconds)
+      | "ns" -> Some (v *. 1e-9, Seconds)
+      | _ -> None)
+
+let dim_name = function
+  | Seconds -> "a time"
+  | Factor -> "a speedup factor"
+  | Percent -> "a percentage"
+  | Count -> "a count"
+
+(* the figure the marker certifies: the last number on the line before
+   the marker comment *)
+let figure_before line upto =
+  let stop = ref (min upto (String.length line)) in
+  while !stop > 0 && line.[!stop - 1] = ' ' do
+    decr stop
+  done;
+  let start = ref !stop in
+  let token_char c =
+    match c with
+    | '0' .. '9' | '.' | ',' | '~' | 'a' .. 'z' | '%' | '\xc2' | '\xb5' ->
+      true
+    | _ -> false
+  in
+  while !start > 0 && token_char line.[!start - 1] do
+    decr start
+  done;
+  if !start >= !stop then None
+  else parse_figure (String.sub line !start (!stop - !start))
+
+(* (docfile, line, exp, row label, column header) *)
+let bench_markers : (string * string * string * string * string) list ref =
+  ref []
+
+let collect_markers docfile line =
+  let rec go from =
+    match find_sub line "<!-- bench:" from with
+    | None -> ()
+    | Some i -> (
+      match find_sub line " -->" (i + 11) with
+      | None -> err "%s: unterminated bench marker" docfile
+      | Some close ->
+        let body = String.sub line (i + 11) (close - i - 11) in
+        (match (find_sub body ":row=" 0, find_sub body ":col=" 0) with
+        | Some r, Some c when r < c ->
+          let exp = String.sub body 0 r in
+          let row = String.sub body (r + 5) (c - r - 5) in
+          let col = String.sub body (c + 5) (String.length body - c - 5) in
+          bench_markers :=
+            (docfile, String.sub line 0 i, exp, row, col) :: !bench_markers
+        | _ ->
+          err "%s: malformed bench marker `%s` (want EXP:row=LABEL:col=HEADER)"
+            docfile body);
+        go (close + 4))
+  in
+  go 0
+
+let checked_figures = ref 0
+
+let check_bench_markers () =
+  let markers = List.rev !bench_markers in
+  match !bench_file with
+  | None -> ()
+  | Some file when not (Sys.file_exists file) ->
+    (* bench results are regenerated per run, never committed: a
+       docs-only change must not demand a bench run first *)
+    ()
+  | Some file -> (
+    let open Alphonse.Json in
+    match of_string_opt (read_file file) with
+    | None -> err "%s: not valid JSON" file
+    | Some j ->
+      let exps =
+        Option.value ~default:[]
+          (Option.bind (member "experiments" j) to_list)
+      in
+      let cell_of exp row col =
+        match
+          List.find_opt (fun e -> Option.bind (member "name" e) to_str = Some exp) exps
+        with
+        | None -> Error (Printf.sprintf "no experiment %S in %s" exp file)
+        | Some e ->
+          let tables =
+            Option.value ~default:[] (Option.bind (member "tables" e) to_list)
+          in
+          let found =
+            List.find_map
+              (fun t ->
+                let headers =
+                  List.filter_map to_str
+                    (Option.value ~default:[]
+                       (Option.bind (member "headers" t) to_list))
+                in
+                let col_idx =
+                  List.find_index (fun h -> h = col) headers
+                in
+                match col_idx with
+                | None -> None
+                | Some ci ->
+                  List.find_map
+                    (fun r ->
+                      match Option.map (List.filter_map to_str) (to_list r) with
+                      | Some (first :: _ as cells) when first = row ->
+                        List.nth_opt cells ci
+                      | _ -> None)
+                    (Option.value ~default:[]
+                       (Option.bind (member "rows" t) to_list)))
+              tables
+          in
+          (match found with
+          | Some cell -> Ok cell
+          | None ->
+            Error
+              (Printf.sprintf "experiment %s has no row %S with column %S" exp
+                 row col))
+      in
+      List.iter
+        (fun (docfile, prefix, exp, row, col) ->
+          match cell_of exp row col with
+          | Error msg -> err "%s: bench marker: %s" docfile msg
+          | Ok cell -> (
+            incr checked_figures;
+            match (parse_figure cell, figure_before prefix max_int) with
+            | None, _ ->
+              err "%s: bench cell %s/%S/%S is not a number: %S" docfile exp
+                row col cell
+            | _, None ->
+              err "%s: no figure precedes the bench marker for %s/%S/%S"
+                docfile exp row col
+            | Some (bv, bd), Some (dv, dd) ->
+              if bd <> dd then
+                err
+                  "%s: bench figure for %s/%S/%S is %s but the doc quotes %s"
+                  docfile exp row col (dim_name bd) (dim_name dd)
+              else
+                let ratio = if bv = 0.0 then infinity else dv /. bv in
+                if ratio < 0.5 || ratio > 2.0 then
+                  err
+                    "%s: stale bench figure for %s/%S/%S: doc quotes a value \
+                     %.4gx the measured %s"
+                    docfile exp row col ratio cell))
+        markers)
+
+(* ------------------------------------------------------------------ *)
 (* Checks                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -305,6 +525,7 @@ let check_doc docfile =
   let fenced = ref false in
   List.iter
     (fun line ->
+      collect_markers docfile line;
       let trimmed = String.trim line in
       if String.length trimmed >= 3 && String.sub trimmed 0 3 = "```" then
         fenced := not !fenced
@@ -337,10 +558,15 @@ let () =
             flag)
       (List.sort_uniq compare !doc_flags)
 
+let () = check_bench_markers ()
+
 let () =
   if !errors > 0 then exit 1;
   if !verbose then
-    Printf.printf "docs OK: %d file(s), %d link(s), %d code ref(s), %d flag(s)\n"
+    Printf.printf
+      "docs OK: %d file(s), %d link(s), %d code ref(s), %d flag(s), %d bench \
+       figure(s)\n"
       (List.length doc_files) !checked_links !checked_refs
       (List.length (List.sort_uniq compare !doc_flags))
+      !checked_figures
   else print_endline "docs OK"
